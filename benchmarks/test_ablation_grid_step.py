@@ -1,0 +1,52 @@
+"""Ablation 3 (DESIGN.md): measurement grid step.
+
+Algorithm 1 steps the hammer count by RDT_guess/100. Coarser grids merge
+RDT states (fewer unique values, higher P(find min)); finer grids resolve
+more states. This bench sweeps the step divisor on the same latent series.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import foundational_latent_series
+from repro.analysis.tables import format_table
+from repro.core.montecarlo import probability_of_min
+from repro.core.rdt import HammerSweep
+
+DIVISORS = (25, 50, 100, 200, 400)
+
+
+def test_ablation_grid_step(benchmark):
+    def run():
+        latent = foundational_latent_series("M1", 5000)
+        guess = float(latent[:10].mean())
+        output = []
+        for divisor in DIVISORS:
+            sweep = HammerSweep(
+                start=guess / 2.0, stop=guess * 3.0, step=guess / divisor
+            )
+            measured = sweep.quantize(latent)
+            valid = measured[~np.isnan(measured)]
+            output.append(
+                (
+                    divisor,
+                    int(np.unique(valid).size),
+                    probability_of_min(valid, 1),
+                    float(valid.std() / valid.mean()),
+                )
+            )
+        return output
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["step divisor (guess/X)", "unique states", "P(find min | N=1)",
+             "measured CV"],
+            rows,
+            title="Ablation 3 | hammer-count grid resolution",
+        )
+    )
+    # Finer grids resolve more states and make the exact minimum rarer.
+    uniques = [row[1] for row in rows]
+    assert uniques == sorted(uniques)
+    assert rows[0][2] >= rows[-1][2]

@@ -1,0 +1,71 @@
+"""Extension: the throttling mitigation class (paper Sec. 2.3).
+
+The paper's Fig. 14 covers preventive-refresh mechanisms; Sec. 2.3 also
+names *selective throttling* (BlockHammer-style) as a mitigation class.
+This bench adds a counting-filter throttler to the Fig. 14 comparison: its
+penalty lands only on over-quota rows rather than on the whole rank, which
+changes where the overhead shows up as the threshold shrinks.
+"""
+
+from repro.analysis.tables import format_table
+from repro.memsim import MemorySystem, SystemConfig, standard_mixes
+from repro.memsim.metrics import geometric_mean, normalized_weighted_speedup
+from repro.mitigations import BlockHammer, Graphene, Mint
+
+THRESHOLDS = (1024, 256, 64)
+
+
+def test_ext_throttling_vs_refresh(benchmark):
+    def run():
+        mixes = standard_mixes(4)
+        config = SystemConfig(window_ns=60_000.0)
+        baselines = {
+            mix.name: MemorySystem(mix, config).run() for mix in mixes
+        }
+        table = {}
+        for threshold in THRESHOLDS:
+            for name, factory in (
+                ("Graphene", Graphene),
+                ("MINT", Mint),
+                ("BlockHammer", BlockHammer),
+            ):
+                speedups = []
+                throttles = 0
+                for mix in mixes:
+                    mitigation = factory(threshold)
+                    result = MemorySystem(mix, config, mitigation).run()
+                    speedups.append(
+                        normalized_weighted_speedup(
+                            result, baselines[mix.name]
+                        )
+                    )
+                    if isinstance(mitigation, BlockHammer):
+                        throttles += mitigation.throttled_activations
+                table[(threshold, name)] = (geometric_mean(speedups), throttles)
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for threshold in THRESHOLDS:
+        for name in ("Graphene", "MINT", "BlockHammer"):
+            speedup, throttles = table[(threshold, name)]
+            rows.append((threshold, name, speedup,
+                         throttles if name == "BlockHammer" else "-"))
+    print()
+    print(
+        format_table(
+            ["threshold", "mitigation", "normalized speedup",
+             "throttled ACTs"],
+            rows,
+            title="Extension | throttling vs preventive refresh",
+        )
+    )
+
+    # Throttling's penalty is bank-local: at low thresholds it beats the
+    # rank-stalling sampler (MINT) while costing more than Graphene's
+    # occasional surgical refreshes.
+    assert table[(64, "BlockHammer")][0] > table[(64, "MINT")][0]
+    assert table[(1024, "BlockHammer")][0] > 0.95
+    # Lower thresholds throttle more.
+    assert table[(64, "BlockHammer")][1] >= table[(1024, "BlockHammer")][1]

@@ -1,0 +1,47 @@
+"""Fig. 5: histogram of consecutive measurements with the same RDT value,
+aggregated across the foundational victim rows (Finding 3).
+"""
+
+from repro.analysis.tables import format_table
+from repro.chips import FOUNDATIONAL_SPECS
+from repro.core import stats
+from benchmarks.conftest import foundational_series
+
+
+def test_fig05_run_length_histogram(benchmark):
+    module_ids = [device.module_id for device in FOUNDATIONAL_SPECS]
+
+    def run():
+        histogram = {}
+        singles = 0
+        total = 0
+        for module_id in module_ids:
+            series = foundational_series(module_id)
+            lengths = stats.run_lengths(series.valid)
+            total += lengths.size
+            singles += int((lengths == 1).sum())
+            for length, count in stats.run_length_histogram(
+                series.valid
+            ).items():
+                histogram[length] = histogram.get(length, 0) + count
+        return histogram, singles / total
+
+    histogram, single_fraction = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [(length, histogram[length]) for length in sorted(histogram)][:20]
+    print()
+    print(
+        format_table(
+            ["consecutive same-RDT measurements", "occurrences"],
+            rows,
+            title="Fig. 5 | Run lengths of constant RDT across all victim rows",
+        )
+    )
+    print(
+        f"fraction of states held for exactly one measurement: "
+        f"{single_fraction:.3f} (paper: 0.790)"
+    )
+    # Finding 3's shape: short runs dominate; the histogram decays.
+    lengths = sorted(histogram)
+    assert histogram[lengths[0]] == max(histogram.values())
+    assert single_fraction > 0.25

@@ -1,0 +1,73 @@
+"""Fig. 8: probability of finding the minimum RDT with N < 1000
+measurements (top), expected normalized value of the minimum (middle), and
+their joint distribution (bottom; expanded as Fig. 25).
+
+Checks Findings 7-9 quantitatively.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.montecarlo import STANDARD_N_VALUES, min_rdt_analysis
+from benchmarks.conftest import CAMPAIGN_MODULES, reference_campaign
+
+
+def collect_estimates():
+    estimates = []
+    for module_id in CAMPAIGN_MODULES:
+        result = reference_campaign(module_id)
+        for obs in result.observations:
+            estimates.append(min_rdt_analysis(obs.series))
+    return estimates
+
+
+def test_fig08_min_rdt_identification(benchmark):
+    estimates = benchmark.pedantic(collect_estimates, rounds=1, iterations=1)
+
+    prob_rows = []
+    enorm_rows = []
+    for n in STANDARD_N_VALUES:
+        probabilities = np.array(
+            [e[n].probability_of_min for e in estimates if n in e]
+        )
+        enorms = np.array(
+            [e[n].expected_normalized_min for e in estimates if n in e]
+        )
+        prob_rows.append(
+            (n, *np.percentile(probabilities, [0, 25, 50, 75, 100]))
+        )
+        enorm_rows.append((n, *np.percentile(enorms, [0, 25, 50, 75, 100])))
+
+    print()
+    print(
+        format_table(
+            ["N", "min", "q1", "median", "q3", "max"],
+            prob_rows,
+            title="Fig. 8 top | P(find min RDT with N measurements)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["N", "min", "q1", "median", "q3", "max"],
+            enorm_rows,
+            title="Fig. 8 middle | expected normalized min RDT after N",
+        )
+    )
+
+    medians = {row[0]: row[3] for row in prob_rows}
+    print(
+        "medians vs paper (0.2%, 0.7%, 1.1%, 2.1%, 10%, 75.3%): "
+        + ", ".join(f"N={n}: {medians[n] * 100:.2f}%" for n in STANDARD_N_VALUES)
+    )
+
+    # Finding 7: one measurement almost never finds the minimum.
+    assert medians[1] < 0.02
+    # Finding 9: probability grows with N but stays imperfect at 500.
+    ordered = [medians[n] for n in STANDARD_N_VALUES]
+    assert ordered == sorted(ordered)
+    assert 0.3 < medians[500] < 1.0
+    # Finding 8: rows with hard-to-find minima can expect values far above
+    # the true minimum.
+    n1 = np.array([e[1].expected_normalized_min for e in estimates if 1 in e])
+    assert n1.max() > 1.3

@@ -1,0 +1,88 @@
+"""Figs. 17-20: RowHammer (tAggOn = tRAS) RDT testing time and energy —
+single measurements across hammer counts and bank counts, row sweeps, and
+the 1K / 100K measurement campaigns. Includes Appendix A's headline
+numbers.
+"""
+
+from repro.analysis.tables import format_table
+from repro.testtime import TestTimeEstimator
+from repro.testtime.estimator import BANK_COUNTS, HAMMER_COUNTS, ROW_COUNTS
+
+
+def test_fig17_20_rowhammer_cost(benchmark):
+    estimator = TestTimeEstimator()
+    t_ras = estimator.timing.tRAS
+
+    def run():
+        return {
+            "fig17": estimator.single_measurement_sweep(t_ras),
+            "fig18": estimator.row_sweep(t_ras),
+            "fig19": estimator.campaign_sweep(t_ras, n_measurements=1_000),
+            "fig20": estimator.campaign_sweep(t_ras, n_measurements=100_000),
+            "summary": estimator.summary(),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["hammers", "banks", "time (ms)", "energy (mJ)"],
+            [
+                (p.hammer_count, p.n_banks, p.time_ms, p.energy_j * 1e3)
+                for p in results["fig17"]
+                if p.hammer_count in (1_000, 8_000)
+            ],
+            title="Fig. 17 | single RDT measurement (RowHammer)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["hammers", "rows", "time (s)"],
+            [
+                (p.hammer_count, p.n_rows, p.time_s)
+                for p in results["fig18"]
+                if p.hammer_count == 1_000
+            ],
+            title="Fig. 18 | one measurement of many rows, single bank",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["rows", "banks", "time (h)", "energy (kJ)"],
+            [
+                (p.n_rows, p.n_banks, p.time_hours, p.energy_j / 1e3)
+                for p in results["fig19"]
+                if p.n_rows in (65_536, 262_144)
+            ],
+            title="Fig. 19 | 1K RDT measurements (hammer count 1K)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["rows", "banks", "time (days)", "energy (kJ)"],
+            [
+                (p.n_rows, p.n_banks, p.time_days, p.energy_j / 1e3)
+                for p in results["fig20"]
+                if p.n_rows in (65_536, 262_144)
+            ],
+            title="Fig. 20 | 100K RDT measurements (hammer count 1K)",
+        )
+    )
+    days, joules = results["summary"]["rowhammer_100k"]
+    print(
+        f"Appendix A headline: whole chip, 100K measurements -> "
+        f"{days:.0f} days, {joules / 1e6:.1f} MJ (paper: 61 days, 13 MJ)"
+    )
+
+    # Shape checks: linear in hammers; bank parallelism helps; headline
+    # lands near the paper.
+    fig17 = {(p.hammer_count, p.n_banks): p for p in results["fig17"]}
+    assert fig17[(8_000, 1)].time_ns > 6 * fig17[(1_000, 1)].time_ns
+    assert fig17[(1_000, 16)].time_ns < 16 * fig17[(1_000, 1)].time_ns
+    assert 45 < days < 80
+    assert len(results["fig17"]) == len(HAMMER_COUNTS) * len(BANK_COUNTS)
+    assert len(results["fig18"]) == len(HAMMER_COUNTS) * len(ROW_COUNTS)

@@ -1,0 +1,72 @@
+"""Table 3: probability of uncorrectable / undetectable / detectable-but-
+uncorrectable errors for SEC, SECDED, and Chipkill-like SSC at the paper's
+worst observed VRD bit error rate (7.6e-5), with a Monte Carlo validation
+of the closed forms against the real codecs.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.ecc import monte_carlo_outcomes, table3
+from repro.ecc.analysis import PAPER_WORST_BER, default_codec
+
+
+def test_table3_ecc_probabilities(benchmark):
+    rows_analytic = benchmark.pedantic(
+        lambda: table3(PAPER_WORST_BER), rounds=1, iterations=1
+    )
+
+    rows = [probs.as_row() for probs in rows_analytic.values()]
+    print()
+    print(
+        format_table(
+            ["scheme", "uncorrectable", "undetectable",
+             "detectable uncorrectable"],
+            [
+                (r["scheme"], r["uncorrectable"], r["undetectable"],
+                 r["detectable_uncorrectable"])
+                for r in rows
+            ],
+            title=f"Table 3 | error outcomes at BER {PAPER_WORST_BER:.2e}",
+        )
+    )
+
+    # Exact values from the paper's Table 3.
+    assert rows_analytic["SEC"].uncorrectable == pytest_approx(1.48e-5)
+    assert rows_analytic["SECDED"].undetectable == pytest_approx(2.64e-8, 0.02)
+    assert rows_analytic["SSC"].uncorrectable == pytest_approx(5.66e-5)
+
+    # Validate the closed forms against the bit-exact codecs at a BER high
+    # enough for Monte Carlo statistics.
+    ber = 3e-3
+    mc_rows = []
+    for scheme in ("SEC", "SECDED", "SSC"):
+        from repro.ecc.analysis import outcome_probabilities
+
+        expected = outcome_probabilities(scheme, ber)
+        outcome = monte_carlo_outcomes(
+            default_codec(scheme), ber, trials=20_000,
+            rng=np.random.default_rng(0),
+        )
+        mc_rows.append(
+            (scheme, expected.uncorrectable, outcome.uncorrectable,
+             outcome.undetectable)
+        )
+        assert outcome.uncorrectable == pytest_approx(
+            expected.uncorrectable, rel=0.5
+        )
+    print()
+    print(
+        format_table(
+            ["scheme", "analytic uncorrectable", "codec MC uncorrectable",
+             "codec MC silent"],
+            mc_rows,
+            title=f"Table 3 validation | codecs vs closed forms at BER {ber}",
+        )
+    )
+
+
+def pytest_approx(value, rel=0.01):
+    import pytest
+
+    return pytest.approx(value, rel=rel)

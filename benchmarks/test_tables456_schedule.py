@@ -1,0 +1,68 @@
+"""Tables 4-6: the command schedules of one RDT measurement (single-bank
+and 16-bank overlapped) and the DDR5 timing parameters they are paced by.
+"""
+
+from repro.analysis.tables import format_table
+from repro.dram.timing import DDR5_8800
+from repro.testtime import multi_bank_schedule, single_bank_schedule
+
+
+def test_tables_4_5_6_schedules(benchmark):
+    def run():
+        return (
+            single_bank_schedule(hammer_count=1000, t_agg_on=DDR5_8800.tRAS),
+            multi_bank_schedule(
+                hammer_count=1000, t_agg_on=DDR5_8800.tRAS, n_banks=16
+            ),
+        )
+
+    single, multi = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["Command", "Timing", "# of Commands", "duration (ns)"],
+            single.as_table(),
+            title="Table 4 | single-bank RDT measurement "
+                  f"(total {single.total_ns / 1000:.1f} us)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["Command", "Timing", "# of Commands", "duration (ns)"],
+            multi.as_table(),
+            title="Table 5 | 16-bank overlapped RDT measurement "
+                  f"(total {multi.total_ns / 1000:.1f} us)",
+        )
+    )
+    print()
+    timing_rows = [
+        ("tRRD_S", DDR5_8800.tRRD_S),
+        ("tCCD_S", DDR5_8800.tCCD_S),
+        ("tCCD_L", DDR5_8800.tCCD_L),
+        ("tCCD_L_WR", DDR5_8800.tCCD_L_WR),
+        ("tRCD", DDR5_8800.tRCD),
+        ("tRP", DDR5_8800.tRP),
+        ("tRAS", DDR5_8800.tRAS),
+        ("tRTP", DDR5_8800.tRTP),
+        ("tWR", DDR5_8800.tWR),
+    ]
+    print(
+        format_table(
+            ["Timing Parameter", "Latency (ns)"],
+            timing_rows,
+            title="Table 6 | DDR5 timing parameters (JESD79-5C)",
+        )
+    )
+
+    # Table 4's structure: one victim + two aggressors initialized with
+    # 128 column writes each, 2 * hammer_count activate/precharge pairs.
+    counts = single.command_counts()
+    assert counts["WRITE"] == 3 * 128
+    assert counts["ACT+PRE"] == 2000
+    # Table 6 exact values.
+    assert DDR5_8800.tRRD_S == 1.816
+    assert DDR5_8800.tCCD_L_WR == 20.0
+    # 16-bank overlap: much better than 16x single-bank time.
+    assert multi.total_ns < 4 * single.total_ns

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""How long would exhaustive VRD profiling take? (Appendix A.)
+
+Prints the command schedule of one RDT measurement and scales it to rows,
+banks, repeated measurements, and RowPress on-times — the paper's argument
+for why comprehensive offline RDT profiling is impractical.
+
+Run:
+    python examples/test_time_budget.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.dram.timing import DDR5_8800
+from repro.testtime import TestTimeEstimator, single_bank_schedule
+from repro.testtime.estimator import ROWPRESS_T_AGG_ON
+
+
+def main() -> None:
+    schedule = single_bank_schedule(hammer_count=1000, t_agg_on=DDR5_8800.tRAS)
+    print(
+        format_table(
+            ["Command", "Timing", "# of Commands", "duration (ns)"],
+            schedule.as_table(),
+            title="Table 4 | one RDT measurement "
+                  f"({schedule.total_ns / 1000:.1f} us total)",
+        )
+    )
+
+    estimator = TestTimeEstimator()
+    scenarios = [
+        ("1 row, 1 measurement", 1, 1, DDR5_8800.tRAS),
+        ("one bank (256K rows), 1 measurement", 262_144, 1, DDR5_8800.tRAS),
+        ("one bank, 1K measurements", 262_144, 1_000, DDR5_8800.tRAS),
+        ("whole chip (32 banks), 100K measurements",
+         32 * 262_144, 100_000, DDR5_8800.tRAS),
+        ("whole chip, 100K measurements, RowPress",
+         32 * 262_144, 100_000, ROWPRESS_T_AGG_ON),
+    ]
+    rows = []
+    for label, n_rows, n_meas, t_on in scenarios:
+        point = estimator.measurement_cost(
+            1_000, t_on, n_banks=16, n_rows=n_rows, n_measurements=n_meas
+        )
+        if point.time_days >= 1:
+            time_text = f"{point.time_days:,.1f} days"
+        elif point.time_hours >= 1:
+            time_text = f"{point.time_hours:.1f} hours"
+        else:
+            time_text = f"{point.time_s:.2f} s"
+        rows.append((label, time_text, f"{point.energy_j / 1e6:.3f} MJ"))
+    print()
+    print(
+        format_table(
+            ["scenario (16 banks overlapped)", "time", "energy"],
+            rows,
+            title="Appendix A | RDT testing budgets (hammer count 1K)",
+        )
+    )
+    print("\nAnd VRD means even 100K measurements per row may miss the "
+          "minimum (Fig. 1: it can first appear after 94,467).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Reporting helpers shared by examples and benchmarks."""
+
+from repro.analysis.tables import format_table
+from repro.analysis.figures import (
+    foundational_latent_series,
+    foundational_victim,
+    foundational_victim_series,
+    module_campaign,
+    select_test_rows,
+)
+
+__all__ = [
+    "format_table",
+    "foundational_victim",
+    "foundational_victim_series",
+    "foundational_latent_series",
+    "module_campaign",
+    "select_test_rows",
+]

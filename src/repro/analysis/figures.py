@@ -1,0 +1,166 @@
+"""Shared experiment drivers for the per-figure benchmarks.
+
+These helpers encapsulate the experiment protocols (victim selection, series
+measurement, campaigns) so that each benchmark module only declares its
+figure-specific parameters and rendering. All drivers run on the fast
+measurement path; the DRAM Bender path is exercised by the integration test
+suite and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.chips import ModuleSpec, build_module, spec
+from repro.core import FastRdtMeter, RdtSeries, TestConfig
+from repro.core.campaign import Campaign, CampaignResult
+from repro.core.config import standard_configs
+from repro.core.patterns import ALL_PATTERNS, CHECKERED0
+from repro.core.rdt import find_victim
+from repro.dram.module import DramModule
+from repro.rng import DEFAULT_SEED
+
+
+def _reference_config(module: DramModule) -> TestConfig:
+    return TestConfig(CHECKERED0, t_agg_on_ns=module.timing.tRAS)
+
+
+def victim_threshold_for(device: ModuleSpec) -> float:
+    """Algorithm 1's vulnerability cutoff, adapted per device.
+
+    The paper uses 40 000; HBM2 chips whose minimum observed RDT exceeds
+    that need a proportionally higher cutoff.
+    """
+    return max(40_000.0, 1.8 * device.min_rdt_tras)
+
+
+def foundational_victim(
+    module_id: str,
+    seed: int = DEFAULT_SEED,
+    candidate_rows: int = 512,
+):
+    """Select the Sec. 4 victim row of a device.
+
+    Algorithm 1's find_victim accepts any row under the vulnerability
+    threshold; per the paper's footnote the tested row is "relatively more
+    read-disturbance-vulnerable", so scan a candidate block and take the
+    most vulnerable qualifying row.
+
+    Returns:
+        ``(module, victim_row, config)``.
+    """
+    device = spec(module_id)
+    module = build_module(device, seed=seed)
+    module.disable_interference_sources()
+    meter = FastRdtMeter(module, bank=0)
+    config = _reference_config(module)
+    guesses = sorted(
+        (meter.guess_rdt(row, config), row) for row in range(candidate_rows)
+    )
+    _, victim = find_victim(
+        meter,
+        rows=[row for _, row in guesses],
+        config=config,
+        threshold=victim_threshold_for(device),
+    )
+    return module, victim, config
+
+
+def foundational_victim_series(
+    module_id: str,
+    n_measurements: int,
+    seed: int = DEFAULT_SEED,
+    candidate_rows: int = 512,
+) -> RdtSeries:
+    """Sec. 4's foundational experiment for one device.
+
+    Finds a vulnerable victim row (Algorithm 1's find_victim) and measures
+    its RDT ``n_measurements`` times under the reference condition.
+    """
+    module, victim, config = foundational_victim(module_id, seed, candidate_rows)
+    meter = FastRdtMeter(module, bank=0)
+    return meter.measure_series(victim, config, n_measurements)
+
+
+def foundational_latent_series(
+    module_id: str,
+    n_measurements: int,
+    seed: int = DEFAULT_SEED,
+    candidate_rows: int = 512,
+):
+    """The victim row's latent (pre-quantization) threshold series.
+
+    The measurement grid quantizes these values (see
+    :class:`~repro.core.rdt.HammerSweep`); the latent series is the right
+    object for distribution-shape questions like Sec. 4.1's normality
+    analysis, where grid quantization would otherwise dominate the
+    statistics.
+    """
+    module, victim, config = foundational_victim(module_id, seed, candidate_rows)
+    mapping = module.bank(0).mapping
+    process = module.fault_model.process(0, mapping.to_physical(victim))
+    return process.latent_series(
+        config.condition(module.timing), n_measurements
+    )
+
+
+def select_test_rows(
+    module: DramModule,
+    per_block: int,
+    block_rows: int = 256,
+    config: Optional[TestConfig] = None,
+) -> List[int]:
+    """Scaled-down version of the paper's 150-row selection protocol."""
+    from repro.core.campaign import select_vulnerable_rows
+
+    return select_vulnerable_rows(
+        module,
+        config or _reference_config(module),
+        block_rows=block_rows,
+        per_block=per_block,
+    )
+
+
+def module_campaign(
+    module_id: str,
+    rows_per_block: int = 10,
+    n_measurements: int = 1000,
+    patterns=ALL_PATTERNS,
+    temperatures: Sequence[float] = (50.0,),
+    t_agg_on_values: Optional[Sequence[float]] = None,
+    seed: int = DEFAULT_SEED,
+) -> CampaignResult:
+    """Run a Sec. 5-style campaign on one catalog device.
+
+    Defaults are scaled down from the paper's 150 rows x 36 configurations
+    to keep benchmark runtimes reasonable; every axis is widenable.
+    """
+    device = spec(module_id)
+    module = build_module(device, seed=seed)
+    module.disable_interference_sources()
+    rows = select_test_rows(module, per_block=rows_per_block)
+    configs = list(
+        standard_configs(
+            module.timing,
+            patterns=patterns,
+            temperatures=temperatures,
+            t_agg_on_values=(
+                t_agg_on_values
+                if t_agg_on_values is not None
+                else (module.timing.tRAS,)
+            ),
+        )
+    )
+    campaign = Campaign(module, configs, n_measurements=n_measurements)
+    return campaign.run(rows)
+
+
+def campaigns_for(
+    module_ids: Sequence[str],
+    **kwargs,
+) -> Dict[str, CampaignResult]:
+    """Campaigns over several devices (Figs. 9-12 aggregations)."""
+    return {
+        module_id: module_campaign(module_id, **kwargs)
+        for module_id in module_ids
+    }

@@ -1,0 +1,45 @@
+"""Plain-text table rendering for benchmark and example output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Numbers are formatted compactly; everything else via ``str``.
+    """
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 10_000 or abs(cell) < 1e-3:
+                return f"{cell:.3g}"
+            return f"{cell:.4g}"
+        return str(cell)
+
+    rendered: List[List[str]] = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * width for width in widths]))
+    for row in rendered:
+        parts.append(line(row))
+    return "\n".join(parts)

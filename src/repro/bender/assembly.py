@@ -1,0 +1,156 @@
+"""Textual assembly for DRAM Bender test programs.
+
+Real DRAM Bender ships a small program DSL that test engineers write by
+hand; this module provides the equivalent for the simulated stack: a
+line-oriented assembly that round-trips with :class:`Program` objects, so
+test programs can live in files, diffs, and bug reports.
+
+Syntax (one instruction per line, ``#`` comments)::
+
+    ACT    <bank> <row>
+    PRE    <bank> [MIN_ON <ns>]
+    WRITE  <bank> <row> <fill-byte>      # e.g. 0x55
+    READ   <bank> <row> <tag>
+    WAIT   <ns>
+    HAMMER <bank> <row[,row...]> <count> <t_agg_on_ns>
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bender.isa import Act, Hammer, Instruction, Pre, ReadRow, Wait, WriteRow
+from repro.bender.program import Program
+from repro.errors import ProgramError
+
+
+def _parse_int(token: str, what: str, line: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise ProgramError(f"line {line}: bad {what} {token!r}") from None
+
+
+def _parse_float(token: str, what: str, line: int) -> float:
+    try:
+        return float(token)
+    except ValueError:
+        raise ProgramError(f"line {line}: bad {what} {token!r}") from None
+
+
+def assemble(text: str, name: str = "assembled") -> Program:
+    """Parse assembly text into a :class:`Program`."""
+    program = Program(name=name)
+    for number, raw in enumerate(text.splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        op = tokens[0].upper()
+        args = tokens[1:]
+        if op == "ACT":
+            if len(args) != 2:
+                raise ProgramError(f"line {number}: ACT <bank> <row>")
+            program.instructions.append(
+                Act(_parse_int(args[0], "bank", number),
+                    _parse_int(args[1], "row", number))
+            )
+        elif op == "PRE":
+            if len(args) == 1:
+                program.instructions.append(
+                    Pre(_parse_int(args[0], "bank", number))
+                )
+            elif len(args) == 3 and args[1].upper() == "MIN_ON":
+                program.instructions.append(
+                    Pre(
+                        _parse_int(args[0], "bank", number),
+                        min_on_ns=_parse_float(args[2], "min-on time", number),
+                    )
+                )
+            else:
+                raise ProgramError(f"line {number}: PRE <bank> [MIN_ON <ns>]")
+        elif op == "WRITE":
+            if len(args) != 3:
+                raise ProgramError(
+                    f"line {number}: WRITE <bank> <row> <fill-byte>"
+                )
+            program.instructions.append(
+                WriteRow(
+                    _parse_int(args[0], "bank", number),
+                    _parse_int(args[1], "row", number),
+                    fill=_parse_int(args[2], "fill byte", number),
+                )
+            )
+        elif op == "READ":
+            if len(args) != 3:
+                raise ProgramError(f"line {number}: READ <bank> <row> <tag>")
+            program.instructions.append(
+                ReadRow(
+                    _parse_int(args[0], "bank", number),
+                    _parse_int(args[1], "row", number),
+                    args[2],
+                )
+            )
+        elif op == "WAIT":
+            if len(args) != 1:
+                raise ProgramError(f"line {number}: WAIT <ns>")
+            program.instructions.append(
+                Wait(_parse_float(args[0], "duration", number))
+            )
+        elif op == "HAMMER":
+            if len(args) != 4:
+                raise ProgramError(
+                    f"line {number}: HAMMER <bank> <rows> <count> <t_agg_on>"
+                )
+            rows = tuple(
+                _parse_int(token, "row", number)
+                for token in args[1].split(",")
+            )
+            program.instructions.append(
+                Hammer(
+                    _parse_int(args[0], "bank", number),
+                    rows,
+                    _parse_int(args[2], "count", number),
+                    _parse_float(args[3], "t_agg_on", number),
+                )
+            )
+        else:
+            raise ProgramError(f"line {number}: unknown opcode {op!r}")
+    return program
+
+
+def disassemble(program: Program) -> str:
+    """Emit assembly text for a program (round-trips with assemble)."""
+    lines: List[str] = [f"# program: {program.name}"]
+    for instruction in program:
+        lines.append(_format(instruction))
+    return "\n".join(lines) + "\n"
+
+
+def _format(instruction: Instruction) -> str:
+    if isinstance(instruction, Act):
+        return f"ACT {instruction.bank} {instruction.row}"
+    if isinstance(instruction, Pre):
+        if instruction.min_on_ns is not None:
+            return f"PRE {instruction.bank} MIN_ON {instruction.min_on_ns!r}"
+        return f"PRE {instruction.bank}"
+    if isinstance(instruction, WriteRow):
+        if not isinstance(instruction.fill, int):
+            raise ProgramError(
+                "cannot disassemble WriteRow with an explicit row image"
+            )
+        return (
+            f"WRITE {instruction.bank} {instruction.row} "
+            f"0x{instruction.fill:02X}"
+        )
+    if isinstance(instruction, ReadRow):
+        return f"READ {instruction.bank} {instruction.row} {instruction.tag}"
+    if isinstance(instruction, Wait):
+        return f"WAIT {instruction.duration_ns!r}"
+    if isinstance(instruction, Hammer):
+        rows = ",".join(str(row) for row in instruction.rows)
+        return (
+            f"HAMMER {instruction.bank} {rows} {instruction.count} "
+            f"{instruction.t_agg_on!r}"
+        )
+    raise ProgramError(f"unknown instruction {instruction!r}")

@@ -1,0 +1,112 @@
+"""Heater pads + PID temperature controller.
+
+The paper keeps chips at a target temperature with heater pads pressed
+against the package, a thermocouple, and a MaxWell FT200 PID controller with
++/-0.5 C precision. We model the thermal plant as a first-order system (the
+chip relaxes toward ambient, heaters add power) and run a discrete-time PID
+loop until the temperature settles inside the precision band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ThermalPlant:
+    """First-order thermal model of a DRAM package with heater pads."""
+
+    ambient_c: float = 25.0
+    time_constant_s: float = 30.0
+    heater_gain_c_per_unit: float = 70.0
+    temperature_c: float = 25.0
+
+    def step(self, heater_drive: float, dt_s: float) -> float:
+        """Advance the plant ``dt_s`` seconds with the given drive [0, 1]."""
+        drive = min(max(heater_drive, 0.0), 1.0)
+        target = self.ambient_c + self.heater_gain_c_per_unit * drive
+        alpha = dt_s / self.time_constant_s
+        self.temperature_c += alpha * (target - self.temperature_c)
+        return self.temperature_c
+
+
+class PidTemperatureController:
+    """Discrete PID loop driving a :class:`ThermalPlant`.
+
+    ``settle`` runs the loop until the measured temperature stays within the
+    precision band for a dwell period, then pins the module temperature —
+    the same contract the paper's FT200 setup provides.
+    """
+
+    def __init__(
+        self,
+        plant: "ThermalPlant | None" = None,
+        kp: float = 0.08,
+        ki: float = 0.004,
+        kd: float = 0.10,
+        precision_c: float = 0.5,
+        dt_s: float = 1.0,
+    ):
+        if precision_c <= 0:
+            raise ConfigurationError("precision must be positive")
+        self.plant = plant or ThermalPlant()
+        self.kp = kp
+        self.ki = ki
+        self.kd = kd
+        self.precision_c = precision_c
+        self.dt_s = dt_s
+        self._integral = 0.0
+        self._previous_error = 0.0
+        self.history: List[float] = []
+
+    def step(self, target_c: float) -> float:
+        """One PID iteration; returns the new plant temperature."""
+        error = target_c - self.plant.temperature_c
+        self._integral += error * self.dt_s
+        # Anti-windup: keep the integral inside the actuator authority.
+        limit = 1.0 / max(self.ki, 1e-9)
+        self._integral = min(max(self._integral, -limit), limit)
+        derivative = (error - self._previous_error) / self.dt_s
+        self._previous_error = error
+        drive = self.kp * error + self.ki * self._integral + self.kd * derivative
+        temperature = self.plant.step(drive, self.dt_s)
+        self.history.append(temperature)
+        return temperature
+
+    def settle(
+        self,
+        target_c: float,
+        dwell_steps: int = 30,
+        max_steps: int = 20_000,
+    ) -> float:
+        """Run until within-precision for ``dwell_steps`` consecutive steps.
+
+        Returns:
+            The settled temperature.
+
+        Raises:
+            ConfigurationError: If the target is outside heater authority
+                or the loop fails to converge.
+        """
+        max_reachable = self.plant.ambient_c + self.plant.heater_gain_c_per_unit
+        if not self.plant.ambient_c <= target_c <= max_reachable:
+            raise ConfigurationError(
+                f"target {target_c} C outside heater authority "
+                f"[{self.plant.ambient_c}, {max_reachable}] C"
+            )
+        in_band = 0
+        for _ in range(max_steps):
+            temperature = self.step(target_c)
+            if abs(temperature - target_c) <= self.precision_c / 2.0:
+                in_band += 1
+                if in_band >= dwell_steps:
+                    return temperature
+            else:
+                in_band = 0
+        raise ConfigurationError(
+            f"temperature loop failed to settle at {target_c} C "
+            f"within {max_steps} steps (last {self.plant.temperature_c:.2f} C)"
+        )

@@ -1,0 +1,31 @@
+"""Catalog of the paper's tested DRAM devices.
+
+21 DDR4 modules (H0-H6, M0-M6, S0-S6) and 4 HBM2 chips (Chip0-Chip3) from
+the three major manufacturers, with per-module VRD model parameters
+calibrated against the paper's Table 7 summary statistics.
+"""
+
+from repro.chips.catalog import (
+    ALL_SPECS,
+    DDR4_SPECS,
+    FOUNDATIONAL_SPECS,
+    HBM2_SPECS,
+    ModuleSpec,
+    build_module,
+    spec,
+    vrd_params_for,
+)
+from repro.chips.vendors import VendorProfile, VENDORS
+
+__all__ = [
+    "ModuleSpec",
+    "ALL_SPECS",
+    "DDR4_SPECS",
+    "HBM2_SPECS",
+    "FOUNDATIONAL_SPECS",
+    "spec",
+    "build_module",
+    "vrd_params_for",
+    "VendorProfile",
+    "VENDORS",
+]

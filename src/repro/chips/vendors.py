@@ -1,0 +1,137 @@
+"""Per-manufacturer VRD response profiles.
+
+The paper anonymizes the three major manufacturers as Mfr. H (SK Hynix),
+Mfr. M (Micron), and Mfr. S (Samsung). Vendor-level behavior the catalog
+encodes, all grounded in the paper's findings:
+
+* which data pattern yields the worst VRD profile (Finding 13: Checkered0
+  for M, Rowstripe1 for S, Rowstripe0 for S's HBM2, Checkered1 for H);
+* how trap depths respond to tAggOn (Finding 15: monotonically improving
+  for M and H, non-monotonic with a minimum at tREFI for S);
+* the temperature response of trap depths (Finding 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import CatalogError
+
+
+@dataclass(frozen=True)
+class VendorProfile:
+    """Manufacturer-level knobs feeding the per-module VRD parameters."""
+
+    key: str
+    name: str
+    #: Pattern -> trap-depth multiplier; the largest entry is the vendor's
+    #: worst pattern per Finding 13.
+    pattern_depth: Mapping[str, float]
+    #: Pattern -> base-RDT multiplier (small, vendor-flavored).
+    pattern_rdt: Mapping[str, float]
+    #: Linear and quadratic trap-depth response per decade of tAggOn above
+    #: the minimum tRAS reference.
+    taggon_depth_slope: float
+    taggon_depth_quad: float
+    #: Fractional trap-depth change per Celsius above 50 C.
+    temp_depth_coeff: float
+    #: Fractional base-RDT change per Celsius above 50 C.
+    temp_rdt_coeff: float
+
+
+VENDORS: "dict[str, VendorProfile]" = {
+    "H": VendorProfile(
+        key="H",
+        name="SK Hynix",
+        pattern_depth={
+            "rowstripe0": 0.96,
+            "rowstripe1": 0.99,
+            "checkered0": 1.02,
+            "checkered1": 1.10,  # worst for Mfr. H (Finding 13)
+        },
+        pattern_rdt={
+            "rowstripe0": 1.02,
+            "rowstripe1": 1.00,
+            "checkered0": 0.98,
+            "checkered1": 0.99,
+        },
+        # Mfr. H improves monotonically with tAggOn (Finding 15).
+        taggon_depth_slope=-0.030,
+        taggon_depth_quad=0.0,
+        temp_depth_coeff=0.0045,
+        temp_rdt_coeff=-0.0020,
+    ),
+    "M": VendorProfile(
+        key="M",
+        name="Micron",
+        pattern_depth={
+            "rowstripe0": 0.97,
+            "rowstripe1": 1.00,
+            "checkered0": 1.12,  # worst for Mfr. M (Finding 13)
+            "checkered1": 1.03,
+        },
+        pattern_rdt={
+            "rowstripe0": 1.01,
+            "rowstripe1": 1.00,
+            "checkered0": 0.97,
+            "checkered1": 1.00,
+        },
+        taggon_depth_slope=-0.040,
+        taggon_depth_quad=0.0,
+        temp_depth_coeff=0.0050,
+        temp_rdt_coeff=-0.0025,
+    ),
+    "S": VendorProfile(
+        key="S",
+        name="Samsung",
+        pattern_depth={
+            "rowstripe0": 1.00,
+            "rowstripe1": 1.12,  # worst for Mfr. S DDR4 (Finding 13)
+            "checkered0": 1.02,
+            "checkered1": 0.97,
+        },
+        pattern_rdt={
+            "rowstripe0": 1.00,
+            "rowstripe1": 0.98,
+            "checkered0": 1.01,
+            "checkered1": 1.01,
+        },
+        # Mfr. S is non-monotonic in tAggOn with a minimum at tREFI
+        # (about 2.35 decades above minimum tRAS): slope = -2*quad*2.35.
+        taggon_depth_slope=-0.1034,
+        taggon_depth_quad=0.022,
+        temp_depth_coeff=0.0040,
+        temp_rdt_coeff=-0.0022,
+    ),
+    "S-HBM": VendorProfile(
+        key="S-HBM",
+        name="Samsung (HBM2)",
+        pattern_depth={
+            "rowstripe0": 1.12,  # worst for the HBM2 chips (Finding 13)
+            "rowstripe1": 1.02,
+            "checkered0": 1.00,
+            "checkered1": 0.97,
+        },
+        pattern_rdt={
+            "rowstripe0": 0.99,
+            "rowstripe1": 1.00,
+            "checkered0": 1.01,
+            "checkered1": 1.00,
+        },
+        taggon_depth_slope=-0.030,
+        taggon_depth_quad=0.0,
+        temp_depth_coeff=0.0045,
+        temp_rdt_coeff=-0.0020,
+    ),
+}
+
+
+def vendor(key: str) -> VendorProfile:
+    """Look a vendor profile up by key (H, M, S, S-HBM)."""
+    try:
+        return VENDORS[key]
+    except KeyError:
+        raise CatalogError(
+            f"unknown vendor {key!r}; expected one of {sorted(VENDORS)}"
+        ) from None

@@ -1,0 +1,326 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small, scriptable entry points onto the library's main experiments:
+
+* ``devices`` — list the catalog (Table 1);
+* ``measure`` — RDT series statistics for one row of one device;
+* ``profile`` — a Sec. 5-style characterization summary for one device;
+* ``table3`` — the ECC outcome probabilities at a chosen bit error rate;
+* ``testtime`` — Appendix A testing-cost headline scenarios;
+* ``attack`` — profile-and-attack security check for one mitigation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Variable Read Disturbance (HPCA 2025) reproduction",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"vrd-repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list the tested-device catalog (Table 1)")
+
+    measure = sub.add_parser(
+        "measure", help="measure one row's RDT series and print statistics"
+    )
+    measure.add_argument("module", help="catalog device id, e.g. M1 or Chip0")
+    measure.add_argument("--row", type=int, default=100)
+    measure.add_argument("-n", "--measurements", type=int, default=1000)
+    measure.add_argument("--pattern", default="checkered0")
+    measure.add_argument("--temperature", type=float, default=50.0)
+    measure.add_argument("--voltage", type=float, default=2.5)
+    measure.add_argument("--seed", type=int, default=None)
+
+    profile = sub.add_parser(
+        "profile", help="characterize a device's VRD profile (Sec. 5)"
+    )
+    profile.add_argument("module")
+    profile.add_argument("--rows-per-block", type=int, default=3)
+    profile.add_argument("-n", "--measurements", type=int, default=500)
+    profile.add_argument(
+        "-o", "--output", default=None,
+        help="save the campaign result to this JSON file",
+    )
+
+    table3_cmd = sub.add_parser(
+        "table3", help="ECC outcome probabilities (Table 3)"
+    )
+    table3_cmd.add_argument(
+        "--ber", type=float, default=None,
+        help="bit error rate (default: the paper's 7.6e-5)",
+    )
+
+    sub.add_parser(
+        "testtime", help="Appendix A testing-cost headline scenarios"
+    )
+
+    attack = sub.add_parser(
+        "attack", help="profile-and-attack security check (extension)"
+    )
+    attack.add_argument("module")
+    attack.add_argument(
+        "--kind", default="prac",
+        choices=["graphene", "prac", "para", "mint", "none"],
+    )
+    attack.add_argument("--row", type=int, default=100)
+    attack.add_argument("--profile-n", type=int, default=5)
+    attack.add_argument("--margin", type=float, default=0.0)
+    attack.add_argument("--windows", type=int, default=2000)
+
+    analyze = sub.add_parser(
+        "analyze", help="analyze a saved campaign JSON (see profile -o)"
+    )
+    analyze.add_argument("file", help="campaign JSON written by 'profile -o'")
+
+    sub.add_parser(
+        "verify",
+        help="quick self-check: headline results land in their paper bands",
+    )
+
+    return parser
+
+
+def _cmd_devices() -> int:
+    from repro.analysis.tables import format_table
+    from repro.chips import ALL_SPECS
+
+    rows = [
+        (d.manufacturer, d.module_id, d.standard, d.chips,
+         f"{d.density}-{d.die_rev}", d.org, d.date_code)
+        for d in ALL_SPECS
+    ]
+    print(format_table(
+        ["Mfr", "Device", "Std", "Chips", "Density-Rev", "Org", "Date"],
+        rows, title="Tested devices (paper Table 1)",
+    ))
+    return 0
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    from repro.chips import build_module
+    from repro.core import FastRdtMeter, TestConfig
+    from repro.core.patterns import pattern_by_name
+    from repro.core import stats
+    from repro.rng import DEFAULT_SEED
+
+    module = build_module(args.module, seed=args.seed or DEFAULT_SEED)
+    module.disable_interference_sources()
+    config = TestConfig(
+        pattern_by_name(args.pattern),
+        t_agg_on_ns=module.timing.tRAS,
+        temperature_c=args.temperature,
+        wordline_voltage_v=args.voltage,
+    )
+    meter = FastRdtMeter(module)
+    series = meter.measure_series(args.row, config, args.measurements)
+    print(series.describe())
+    print(f"min appears {series.min_count}x, first at measurement "
+          f"{series.first_min_index()}")
+    print(f"max/min ratio {series.max_to_min_ratio:.3f}; single-measurement "
+          f"state changes "
+          f"{stats.fraction_single_measurement_changes(series.valid):.1%}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.analysis.figures import module_campaign
+    from repro.analysis.tables import format_table
+    from repro.core.montecarlo import STANDARD_N_VALUES
+
+    result = module_campaign(
+        args.module,
+        rows_per_block=args.rows_per_block,
+        n_measurements=args.measurements,
+    )
+    rows = []
+    for n in STANDARD_N_VALUES:
+        if n > args.measurements:
+            continue
+        probs = result.probability_of_min_distribution(n)
+        enorm = result.expected_normalized_min_distribution(n)
+        rows.append((n, float(np.median(probs)), float(np.median(enorm)),
+                     float(enorm.max())))
+    print(format_table(
+        ["N", "median P(find min)", "median E[min]/min", "worst"],
+        rows, title=f"{args.module} | VRD profile "
+                    f"({len(result)} row-condition series)",
+    ))
+    if args.output:
+        from repro.core.store import save_campaign
+
+        save_campaign(result, args.output)
+        print(f"campaign saved to {args.output}")
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+    from repro.ecc import table3
+    from repro.ecc.analysis import PAPER_WORST_BER
+
+    ber = args.ber if args.ber is not None else PAPER_WORST_BER
+    rows = [tuple(p.as_row().values()) for p in table3(ber).values()]
+    print(format_table(
+        ["scheme", "uncorrectable", "undetectable", "detectable uncorr."],
+        rows, title=f"Table 3 at BER {ber:.2e}",
+    ))
+    return 0
+
+
+def _cmd_testtime() -> int:
+    from repro.analysis.tables import format_table
+    from repro.testtime import TestTimeEstimator
+
+    summary = TestTimeEstimator().summary()
+    rows = [
+        (key, f"{days:,.1f}", f"{joules / 1e6:.2f}")
+        for key, (days, joules) in summary.items()
+    ]
+    print(format_table(
+        ["scenario", "days", "MJ"], rows,
+        title="Appendix A | whole-chip testing budgets",
+    ))
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.chips import build_module
+    from repro.core import CHECKERED0, TestConfig
+    from repro.security import profile_and_attack
+
+    module = build_module(args.module)
+    module.disable_interference_sources()
+    config = TestConfig(CHECKERED0, t_agg_on_ns=module.timing.tRAS)
+    outcome = profile_and_attack(
+        module, args.row, config, args.kind,
+        profile_measurements=args.profile_n, margin=args.margin,
+        windows=args.windows,
+    )
+    state = "FLIPPED" if outcome.flipped else "survived"
+    print(f"{args.kind} configured from {args.profile_n} measurements with "
+          f"{args.margin:.0%} guardband (threshold {outcome.threshold:.0f}): "
+          f"victim {state} after {outcome.windows} windows")
+    print(f"minimum instantaneous RDT seen: {outcome.min_rdt_seen:.0f}; "
+          f"worst exposure margin {outcome.min_exposure_margin:+.2%}")
+    return 1 if outcome.flipped else 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.analysis.tables import format_table
+    from repro.core.montecarlo import STANDARD_N_VALUES
+    from repro.core.store import load_campaign
+
+    result = load_campaign(args.file)
+    print(f"campaign: {result.module_id}, {len(result)} series over "
+          f"{len(result.rows())} rows")
+    rows = []
+    for n in STANDARD_N_VALUES:
+        enorm = result.expected_normalized_min_distribution(n)
+        if enorm.size == 0:
+            continue
+        probs = result.probability_of_min_distribution(n)
+        rows.append((n, float(np.median(probs)), float(np.median(enorm)),
+                     float(enorm.max())))
+    print(format_table(
+        ["N", "median P(find min)", "median E[min]/min", "worst"],
+        rows, title="minimum-RDT identification (Sec. 5.1)",
+    ))
+    cv = result.cv_s_curve()
+    print(f"CV S-curve: P50={float(np.percentile(cv, 50)):.4f} "
+          f"max={float(cv.max()):.4f}; rows varying under every config: "
+          f"{result.fraction_always_varying():.1%}")
+    return 0
+
+
+def _cmd_verify() -> int:
+    """Fast end-to-end sanity checks against the paper's headline bands."""
+    import numpy as np
+
+    from repro.chips import build_module
+    from repro.core import CHECKERED0, FastRdtMeter, TestConfig
+    from repro.core import stats
+    from repro.core.montecarlo import probability_of_min
+    from repro.ecc import table3
+    from repro.testtime import TestTimeEstimator
+
+    checks: List[tuple] = []
+
+    module = build_module("M1")
+    module.disable_interference_sources()
+    meter = FastRdtMeter(module)
+    config = TestConfig(CHECKERED0, t_agg_on_ns=module.timing.tRAS)
+    guesses = sorted((meter.guess_rdt(r, config), r) for r in range(128))
+    rows = [row for _, row in guesses[:20]]
+    probs, switches = [], []
+    for row in rows:
+        series = meter.measure_series(row, config, 1000)
+        probs.append(probability_of_min(series.require_valid(), 1))
+        switches.append(
+            stats.fraction_single_measurement_changes(series.valid)
+        )
+    checks.append((
+        "P(find min | N=1) median in [0.05%, 1%]",
+        0.0005 <= float(np.median(probs)) <= 0.01,
+    ))
+    checks.append((
+        "single-measurement state changes in [50%, 95%] (paper: 79%)",
+        0.5 <= float(np.mean(switches)) <= 0.95,
+    ))
+
+    ecc = table3()
+    checks.append((
+        "Table 3 SECDED undetectable ~ 2.64e-8",
+        abs(ecc["SECDED"].undetectable / 2.64e-8 - 1.0) < 0.05,
+    ))
+
+    days, joules = TestTimeEstimator().summary()["rowhammer_100k"]
+    checks.append(("Appendix A RowHammer 100K ~ 61 days", 45 < days < 80))
+    checks.append(("Appendix A RowHammer 100K ~ 13 MJ",
+                   9e6 < joules < 18e6))
+
+    failures = 0
+    for label, ok in checks:
+        print(f"[{'PASS' if ok else 'FAIL'}] {label}")
+        failures += not ok
+    print(f"{len(checks) - failures}/{len(checks)} checks passed")
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "devices":
+        return _cmd_devices()
+    if args.command == "measure":
+        return _cmd_measure(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "table3":
+        return _cmd_table3(args)
+    if args.command == "testtime":
+        return _cmd_testtime()
+    if args.command == "attack":
+        return _cmd_attack(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "verify":
+        return _cmd_verify()
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

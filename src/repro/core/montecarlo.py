@@ -1,0 +1,171 @@
+"""Minimum-RDT identification analysis (paper Sec. 5.1, Figs. 8 and 25).
+
+The paper asks: given a series of M RDT measurements, what is the chance
+that N < M uniformly chosen measurements contain the series minimum, and how
+much higher than the true minimum is the best value those N measurements are
+expected to find?
+
+The paper answers with 10 000-iteration Monte Carlo simulations. Because
+sampling N of M values without replacement is hypergeometric, both
+quantities also have closed forms; we implement the exact computation (the
+default — deterministic and fast enough to sweep every row) *and* the
+paper's Monte Carlo procedure (used by tests to validate the closed forms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.special import gammaln
+
+from repro.core.series import RdtSeries
+from repro.errors import MeasurementError
+
+#: The N values plotted in Figs. 8 and 25.
+STANDARD_N_VALUES = (1, 3, 5, 10, 50, 500)
+
+
+def _log_comb(n: np.ndarray, k: float) -> np.ndarray:
+    """log C(n, k) with C(n, k) = 0 for n < k handled by the caller."""
+    return gammaln(n + 1.0) - gammaln(k + 1.0) - gammaln(n - k + 1.0)
+
+
+def probability_of_min(
+    values: np.ndarray, n: int, within: float = 0.0
+) -> float:
+    """Exact P(an N-subset contains a value within ``within`` of the min).
+
+    With M measurements of which k lie at or below ``min * (1 + within)``,
+    a uniform N-subset without replacement misses all k with probability
+    C(M-k, N) / C(M, N).
+    """
+    data = np.asarray(values, dtype=float)
+    data = data[~np.isnan(data)]
+    m = data.size
+    if m == 0:
+        raise MeasurementError("empty series")
+    if not 1 <= n <= m:
+        raise MeasurementError(f"subset size {n} must be in [1, {m}]")
+    if within < 0:
+        raise MeasurementError("margin must be >= 0")
+    threshold = data.min() * (1.0 + within)
+    k = int((data <= threshold).sum())
+    if m - k < n:
+        return 1.0
+    log_miss = float(
+        _log_comb(np.array(m - k, dtype=float), float(n))
+        - _log_comb(np.array(m, dtype=float), float(n))
+    )
+    return 1.0 - float(np.exp(log_miss))
+
+
+def expected_normalized_min(values: np.ndarray, n: int) -> float:
+    """Exact E[min of an N-subset] / (series minimum).
+
+    Let v_(1) <= ... <= v_(M) be the sorted series. The probability that a
+    uniform N-subset avoids the j smallest values is
+    S_j = C(M-j, N) / C(M, N); the subset minimum equals v_(j) with
+    probability S_{j-1} - S_j, giving the expectation in closed form.
+    """
+    data = np.asarray(values, dtype=float)
+    data = data[~np.isnan(data)]
+    m = data.size
+    if m == 0:
+        raise MeasurementError("empty series")
+    if not 1 <= n <= m:
+        raise MeasurementError(f"subset size {n} must be in [1, {m}]")
+    sorted_values = np.sort(data)
+    j = np.arange(m + 1, dtype=float)  # 0..M
+    remaining = m - j
+    with np.errstate(invalid="ignore"):
+        log_s = _log_comb(remaining, float(n)) - _log_comb(
+            np.array(m, dtype=float), float(n)
+        )
+    survival = np.where(remaining >= n, np.exp(log_s), 0.0)
+    weights = survival[:-1] - survival[1:]
+    expectation = float(np.dot(weights, sorted_values))
+    minimum = float(sorted_values[0])
+    if minimum <= 0:
+        raise MeasurementError("series minimum must be positive")
+    return expectation / minimum
+
+
+def probability_of_min_monte_carlo(
+    values: np.ndarray,
+    n: int,
+    iterations: int = 10_000,
+    rng: Optional[np.random.Generator] = None,
+    within: float = 0.0,
+) -> float:
+    """The paper's Monte Carlo estimate of :func:`probability_of_min`."""
+    data = np.asarray(values, dtype=float)
+    data = data[~np.isnan(data)]
+    if rng is None:
+        rng = np.random.default_rng(0)
+    threshold = data.min() * (1.0 + within)
+    hits = 0
+    for _ in range(iterations):
+        sample = rng.choice(data, size=n, replace=False)
+        if sample.min() <= threshold:
+            hits += 1
+    return hits / iterations
+
+
+def expected_normalized_min_monte_carlo(
+    values: np.ndarray,
+    n: int,
+    iterations: int = 10_000,
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """The paper's Monte Carlo estimate of :func:`expected_normalized_min`."""
+    data = np.asarray(values, dtype=float)
+    data = data[~np.isnan(data)]
+    if rng is None:
+        rng = np.random.default_rng(0)
+    minima = np.empty(iterations)
+    for index in range(iterations):
+        minima[index] = rng.choice(data, size=n, replace=False).min()
+    return float(minima.mean() / data.min())
+
+
+@dataclass(frozen=True)
+class MinRdtEstimate:
+    """Per-(row, N) outcome of the Sec. 5.1 analysis."""
+
+    n: int
+    probability_of_min: float
+    expected_normalized_min: float
+
+
+def min_rdt_analysis(
+    series: RdtSeries, n_values: Sequence[int] = STANDARD_N_VALUES
+) -> Dict[int, MinRdtEstimate]:
+    """Run the full Fig. 8 analysis for one series."""
+    values = series.require_valid()
+    output = {}
+    for n in n_values:
+        if n > values.size:
+            continue
+        output[n] = MinRdtEstimate(
+            n=n,
+            probability_of_min=probability_of_min(values, n),
+            expected_normalized_min=expected_normalized_min(values, n),
+        )
+    return output
+
+
+def scatter_points(
+    estimates: Sequence[Dict[int, MinRdtEstimate]], n: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fig. 8 bottom / Fig. 25: (probability, expected normalized min) per
+    row at one N."""
+    xs, ys = [], []
+    for per_row in estimates:
+        estimate = per_row.get(n)
+        if estimate is None:
+            continue
+        xs.append(estimate.probability_of_min)
+        ys.append(estimate.expected_normalized_min)
+    return np.asarray(xs), np.asarray(ys)

@@ -1,0 +1,132 @@
+"""JSON persistence for measurement series and campaign results.
+
+Characterization campaigns are expensive; a real deployment measures once
+and analyzes many times. This module round-trips the library's result
+artifacts through plain JSON (no pickle: results are data, and the format
+stays inspectable and diffable).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.campaign import CampaignResult, RowObservation
+from repro.core.config import TestConfig
+from repro.core.patterns import pattern_by_name
+from repro.core.series import RdtSeries
+from repro.errors import MeasurementError
+
+#: Format version written into every file, checked on load.
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def series_to_dict(series: RdtSeries) -> dict:
+    """Serialize one series (NaN encoded as ``None`` for valid JSON)."""
+    return {
+        "values": [
+            None if math.isnan(value) else value
+            for value in series.values.tolist()
+        ],
+        "module_id": series.module_id,
+        "bank": series.bank,
+        "row": series.row,
+        "config_label": series.config_label,
+        "grid_step": series.grid_step,
+    }
+
+
+def series_from_dict(payload: dict) -> RdtSeries:
+    try:
+        values = np.array(
+            [math.nan if value is None else float(value)
+             for value in payload["values"]]
+        )
+        return RdtSeries(
+            values,
+            module_id=payload["module_id"],
+            bank=int(payload["bank"]),
+            row=int(payload["row"]),
+            config_label=payload["config_label"],
+            grid_step=float(payload["grid_step"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise MeasurementError(f"malformed series payload: {error}") from error
+
+
+def config_to_dict(config: TestConfig) -> dict:
+    return {
+        "pattern": config.pattern.name,
+        "t_agg_on_ns": config.t_agg_on_ns,
+        "temperature_c": config.temperature_c,
+        "wordline_voltage_v": config.wordline_voltage_v,
+    }
+
+
+def config_from_dict(payload: dict) -> TestConfig:
+    try:
+        return TestConfig(
+            pattern=pattern_by_name(payload["pattern"]),
+            t_agg_on_ns=float(payload["t_agg_on_ns"]),
+            temperature_c=float(payload["temperature_c"]),
+            wordline_voltage_v=float(payload.get("wordline_voltage_v", 2.5)),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise MeasurementError(f"malformed config payload: {error}") from error
+
+
+def campaign_to_dict(result: CampaignResult) -> dict:
+    return {
+        "format_version": FORMAT_VERSION,
+        "module_id": result.module_id,
+        "observations": [
+            {
+                "bank": obs.bank,
+                "row": obs.row,
+                "config": config_to_dict(obs.config),
+                "series": series_to_dict(obs.series),
+            }
+            for obs in result.observations
+        ],
+    }
+
+
+def campaign_from_dict(payload: dict) -> CampaignResult:
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise MeasurementError(
+            f"unsupported campaign format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    result = CampaignResult(module_id=payload["module_id"])
+    for entry in payload["observations"]:
+        result.observations.append(
+            RowObservation(
+                module_id=payload["module_id"],
+                bank=int(entry["bank"]),
+                row=int(entry["row"]),
+                config=config_from_dict(entry["config"]),
+                series=series_from_dict(entry["series"]),
+            )
+        )
+    return result
+
+
+def save_campaign(result: CampaignResult, path: PathLike) -> None:
+    """Write a campaign result to a JSON file."""
+    Path(path).write_text(json.dumps(campaign_to_dict(result)))
+
+
+def load_campaign(path: PathLike) -> CampaignResult:
+    """Read a campaign result back from a JSON file."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise MeasurementError(f"not a campaign file: {error}") from error
+    return campaign_from_dict(payload)

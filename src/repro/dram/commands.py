@@ -1,0 +1,62 @@
+"""DRAM command vocabulary.
+
+The memory controller (and the DRAM Bender interpreter) drive the simulated
+module with these commands; the module enforces legal sequencing and the
+timing parameters of :mod:`repro.dram.timing`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class CommandKind(enum.Enum):
+    """DRAM bus commands used by the paper's methodology (Sec. 2.2)."""
+
+    ACT = "ACT"
+    PRE = "PRE"
+    RD = "RD"
+    WR = "WR"
+    REF = "REF"
+    #: Refresh-management command (DDR5); issued by PRAC/MINT style
+    #: mitigations to give the DRAM time for preventive refreshes.
+    RFM = "RFM"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Command:
+    """One issued command with its address and issue time (ns).
+
+    ``bank`` is ``None`` for rank-level commands (REF, rank-level RFM).
+    ``row`` is only meaningful for ACT; ``column`` for RD/WR.
+    """
+
+    kind: CommandKind
+    issued_at: float
+    bank: Optional[int] = None
+    row: Optional[int] = None
+    column: Optional[int] = None
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind is CommandKind.ACT and self.row is None:
+            raise ValueError("ACT requires a row address")
+        if self.kind in (CommandKind.RD, CommandKind.WR) and self.bank is None:
+            raise ValueError(f"{self.kind} requires a bank address")
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. ``ACT b3 r0x1a2 @ 120.0ns``."""
+        parts = [self.kind.value]
+        if self.bank is not None:
+            parts.append(f"b{self.bank}")
+        if self.row is not None:
+            parts.append(f"r0x{self.row:x}")
+        if self.column is not None:
+            parts.append(f"c{self.column}")
+        parts.append(f"@ {self.issued_at:.1f}ns")
+        return " ".join(parts)

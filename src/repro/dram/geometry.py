@@ -1,0 +1,100 @@
+"""DRAM organization: channels, ranks, chips, banks, rows, columns.
+
+The paper's Fig. 2 describes the hierarchy; for characterization we only need
+the per-chip view (banks of rows of cells) plus enough module-level structure
+to map a bit position to the chip it lives in (used by the ECC analysis of
+§6.4, which observes bitflips spread over up to four chips of a module).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Static organization of one simulated DRAM module (or HBM2 stack).
+
+    Attributes:
+        n_banks: Number of banks per rank (DDR4 x8: 16; HBM2 channel: 16).
+        n_rows: Rows per bank. A typical 8 Gb x8 die has 256K (2**18) rows
+            per bank group-bank combination; we default to smaller test
+            geometries in unit tests and to realistic ones in the catalog.
+        row_bits_per_chip: Cells (bits) in one row of one chip — 8 Kibit
+            (1 KB) on DDR4 x8 dies, making the module-level row the
+            64 Kibit row the paper quotes.
+        n_chips: Chips operated in lockstep in the rank (x8 module: 8).
+        n_ranks: Ranks on the module (characterization uses one).
+        burst_bits: Bits transferred per chip per column access (x8 chip with
+            BL8: 64). Only used by command-count arithmetic.
+    """
+
+    n_banks: int = 16
+    n_rows: int = 1 << 16
+    row_bits_per_chip: int = 8_192
+    n_chips: int = 8
+    n_ranks: int = 1
+    burst_bits: int = 64
+
+    def __post_init__(self) -> None:
+        for name in (
+            "n_banks",
+            "n_rows",
+            "row_bits_per_chip",
+            "n_chips",
+            "n_ranks",
+            "burst_bits",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise ConfigurationError(
+                    f"DramGeometry.{name} must be a positive int, got {value!r}"
+                )
+        if self.row_bits_per_chip % 8:
+            raise ConfigurationError(
+                "row_bits_per_chip must be a multiple of 8 "
+                f"(got {self.row_bits_per_chip})"
+            )
+
+    @property
+    def row_bits(self) -> int:
+        """Total bits of one module-level row (all lockstep chips)."""
+        return self.row_bits_per_chip * self.n_chips
+
+    @property
+    def row_bytes(self) -> int:
+        """Total bytes of one module-level row."""
+        return self.row_bits // 8
+
+    @property
+    def columns_per_row(self) -> int:
+        """Column (burst) accesses needed to touch a whole row once.
+
+        Appendix A's command schedules write/read a row with 128 column
+        commands; with 64 Kibit rows and 8 chips x 64 bits per burst this
+        is ``row_bits / (n_chips * burst_bits)`` = 128.
+        """
+        return self.row_bits // (self.n_chips * self.burst_bits)
+
+    def chip_of_bit(self, bit_index: int) -> int:
+        """Map a module-row bit position to the chip that stores it.
+
+        Consecutive bytes of the module row stripe across chips, matching
+        how a x8 rank splits the 64-bit data bus byte-wise.
+        """
+        if not 0 <= bit_index < self.row_bits:
+            raise ConfigurationError(
+                f"bit index {bit_index} out of range for {self.row_bits}-bit row"
+            )
+        return (bit_index // 8) % self.n_chips
+
+    def validate_address(self, bank: int, row: int) -> None:
+        """Raise :class:`~repro.errors.AddressError` on an invalid address."""
+        from repro.errors import AddressError
+
+        if not 0 <= bank < self.n_banks:
+            raise AddressError(f"bank {bank} out of range [0, {self.n_banks})")
+        if not 0 <= row < self.n_rows:
+            raise AddressError(f"row {row} out of range [0, {self.n_rows})")

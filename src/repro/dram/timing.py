@@ -1,0 +1,181 @@
+"""JEDEC timing parameter sets.
+
+Values follow the paper: Table 6 lists the DDR5 numbers used by the Appendix
+A test-time analysis; DDR4 values come from JESD79-4C for the speed grades of
+the tested modules (Table 7); HBM2 values from JESD235D. All times are
+nanoseconds (see :mod:`repro.units`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.units import us, ms
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """One named set of DRAM timing parameters (nanoseconds).
+
+    Attributes mirror the JEDEC names used throughout the paper:
+
+    * ``tRCD``  — ACT to column command.
+    * ``tRP``   — PRE to next ACT.
+    * ``tRAS``  — ACT to PRE (minimum row-open time; the paper's minimum
+      ``tAggOn``).
+    * ``tRTP``  — READ to PRE.
+    * ``tWR``   — end of write burst to PRE.
+    * ``tCCD_L`` / ``tCCD_S`` — column-to-column, same/different bank group.
+    * ``tCCD_L_WR`` — write-to-write, same bank group.
+    * ``tRRD_S`` — ACT-to-ACT across bank groups.
+    * ``tREFI`` — average periodic refresh interval.
+    * ``tREFW`` — refresh window (retention guarantee horizon).
+    * ``tRFC``  — refresh command duration.
+    """
+
+    name: str
+    data_rate_mts: int
+    tRCD: float
+    tRP: float
+    tRAS: float
+    tRTP: float
+    tWR: float
+    tCCD_L: float
+    tCCD_S: float
+    tCCD_L_WR: float
+    tRRD_S: float
+    tREFI: float
+    tREFW: float
+    tRFC: float
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "tRCD",
+            "tRP",
+            "tRAS",
+            "tRTP",
+            "tWR",
+            "tCCD_L",
+            "tCCD_S",
+            "tCCD_L_WR",
+            "tRRD_S",
+            "tREFI",
+            "tREFW",
+            "tRFC",
+        ):
+            value = getattr(self, field_name)
+            if value <= 0:
+                raise ConfigurationError(
+                    f"{self.name}: timing {field_name} must be positive, "
+                    f"got {value}"
+                )
+        if self.tRAS < self.tRCD:
+            raise ConfigurationError(
+                f"{self.name}: tRAS ({self.tRAS}) must be >= tRCD ({self.tRCD})"
+            )
+        if self.tREFW < self.tREFI:
+            raise ConfigurationError(
+                f"{self.name}: tREFW must exceed tREFI"
+            )
+
+    @property
+    def tRC(self) -> float:
+        """Row cycle time: minimum ACT-to-ACT to the same bank."""
+        return self.tRAS + self.tRP
+
+    @property
+    def max_row_open(self) -> float:
+        """Maximum time a row may stay open: nine refresh intervals.
+
+        The paper's largest tested ``tAggOn`` (Sec. 5) is ``9 x tREFI``, the
+        longest a row can legally remain open per the DDR4/HBM2 standards.
+        """
+        return 9.0 * self.tREFI
+
+    def with_overrides(self, **overrides: float) -> "TimingParams":
+        """Return a copy with selected parameters replaced (for ablations)."""
+        return replace(self, **overrides)
+
+    def activations_per_refresh_window(self, t_agg_on: float) -> int:
+        """Upper bound on single-row activations within one refresh window."""
+        if t_agg_on < self.tRAS:
+            raise ConfigurationError(
+                f"tAggOn {t_agg_on} below minimum tRAS {self.tRAS}"
+            )
+        return int(self.tREFW // (t_agg_on + self.tRP))
+
+
+def _ddr4(name: str, data_rate: int, tRCD: float, tRP: float) -> TimingParams:
+    """DDR4 speed-grade template: shared values from JESD79-4C."""
+    return TimingParams(
+        name=name,
+        data_rate_mts=data_rate,
+        tRCD=tRCD,
+        tRP=tRP,
+        tRAS=35.0,  # the paper's "minimum tAggOn (e.g., 35 ns)"
+        tRTP=7.5,
+        tWR=15.0,
+        tCCD_L=6.25,
+        tCCD_S=5.0,
+        tCCD_L_WR=6.25,
+        tRRD_S=3.3,
+        tREFI=us(7.8),
+        tREFW=ms(64.0),
+        tRFC=350.0,
+    )
+
+
+#: DDR4-2400 (modules H2): JESD79-4C CL17 grade.
+DDR4_2400 = _ddr4("DDR4-2400", 2400, tRCD=14.16, tRP=14.16)
+
+#: DDR4-2666 (modules H0, S0, S1, S2, S4): CL19 grade.
+DDR4_2666 = _ddr4("DDR4-2666", 2666, tRCD=14.25, tRP=14.25)
+
+#: DDR4-2933 (modules H3, H4): CL21 grade.
+DDR4_2933 = _ddr4("DDR4-2933", 2933, tRCD=14.32, tRP=14.32)
+
+#: DDR4-3200 (modules H1, H5, H6, M0-M6, S3, S5, S6): CL22 grade.
+DDR4_3200 = _ddr4("DDR4-3200", 3200, tRCD=13.75, tRP=13.75)
+
+#: DDR5-8800 with the exact Table 6 values, used by Appendix A.
+DDR5_8800 = TimingParams(
+    name="DDR5-8800",
+    data_rate_mts=8800,
+    tRCD=14.090,
+    tRP=14.090,
+    tRAS=32.000,
+    tRTP=7.500,
+    tWR=30.000,
+    tCCD_L=5.000,
+    tCCD_S=1.816,
+    tCCD_L_WR=20.000,
+    tRRD_S=1.816,
+    tREFI=us(3.9),
+    tREFW=ms(32.0),
+    tRFC=295.0,
+)
+
+#: HBM2 (JESD235D) pseudo-channel timings for the four tested HBM2 chips.
+HBM2_2000 = TimingParams(
+    name="HBM2-2000",
+    data_rate_mts=2000,
+    tRCD=14.0,
+    tRP=14.0,
+    tRAS=33.0,
+    tRTP=7.5,
+    tWR=16.0,
+    tCCD_L=4.0,
+    tCCD_S=2.0,
+    tCCD_L_WR=4.0,
+    tRRD_S=4.0,
+    tREFI=us(3.9),
+    tREFW=ms(32.0),
+    tRFC=260.0,
+)
+
+#: Lookup by name, used by the chip catalog.
+PRESETS = {
+    preset.name: preset
+    for preset in (DDR4_2400, DDR4_2666, DDR4_2933, DDR4_3200, DDR5_8800, HBM2_2000)
+}

@@ -1,0 +1,68 @@
+"""GF(256) arithmetic for the Chipkill-like symbol code.
+
+Standard byte field with the AES-adjacent primitive polynomial
+x^8 + x^4 + x^3 + x^2 + 1 (0x11D) and generator alpha = 2, implemented with
+log/antilog tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EccError
+
+_PRIMITIVE_POLY = 0x11D
+
+
+class GF256:
+    """The finite field GF(2^8)."""
+
+    def __init__(self) -> None:
+        exp = np.zeros(512, dtype=np.int64)
+        log = np.zeros(256, dtype=np.int64)
+        value = 1
+        for power in range(255):
+            exp[power] = value
+            log[value] = power
+            value <<= 1
+            if value & 0x100:
+                value ^= _PRIMITIVE_POLY
+        exp[255:510] = exp[:255]  # wraparound for cheap modular indexing
+        self._exp = exp
+        self._log = log
+
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        """Addition (= subtraction) is XOR."""
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp[self._log[a] + self._log[b]])
+
+    def inv(self, a: int) -> int:
+        if a == 0:
+            raise EccError("zero has no multiplicative inverse in GF(256)")
+        return int(self._exp[255 - self._log[a]])
+
+    def div(self, a: int, b: int) -> int:
+        if b == 0:
+            raise EccError("division by zero in GF(256)")
+        if a == 0:
+            return 0
+        return int(self._exp[(self._log[a] - self._log[b]) % 255])
+
+    def pow_alpha(self, power: int) -> int:
+        """alpha ** power for the field generator alpha = 2."""
+        return int(self._exp[power % 255])
+
+    def log_alpha(self, value: int) -> int:
+        """Discrete log base alpha; value must be nonzero."""
+        if value == 0:
+            raise EccError("discrete log of zero is undefined")
+        return int(self._log[value])
+
+
+#: Shared field instance (tables are immutable).
+FIELD = GF256()

@@ -1,0 +1,121 @@
+"""Hamming-style bit codes: SEC and Hsiao SECDED over (72, 64).
+
+Both are systematic: codeword = 64 data bits followed by 8 parity bits.
+
+* :class:`Secded72` uses the Hsiao construction — all parity-check columns
+  have odd weight (weight-3 and weight-5 columns for data, identity for
+  parity), so any double error produces an even-weight syndrome and is
+  *detected* rather than miscorrected.
+* :class:`Sec72` uses arbitrary distinct nonzero columns; double errors can
+  alias to valid single-error syndromes and silently miscorrect, which is
+  exactly the weakness Table 3's SEC row quantifies.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List
+
+import numpy as np
+
+from repro.ecc.base import DecodeOutcome, DecodeResult, EccCode
+
+_PARITY = 8
+_DATA = 64
+_TOTAL = _DATA + _PARITY
+
+
+def _weight_columns(weight: int) -> List[int]:
+    """All 8-bit column values with the given popcount, ascending."""
+    columns = []
+    for bits in combinations(range(_PARITY), weight):
+        value = 0
+        for bit in bits:
+            value |= 1 << bit
+        columns.append(value)
+    return sorted(columns)
+
+
+class _HammingBase(EccCode):
+    """Shared syndrome machinery; subclasses provide the data columns."""
+
+    n_bits = _TOTAL
+    k_bits = _DATA
+
+    def __init__(self, data_columns: List[int]):
+        if len(data_columns) != _DATA:
+            raise ValueError(f"need {_DATA} data columns, got {len(data_columns)}")
+        if len(set(data_columns)) != _DATA or 0 in data_columns:
+            raise ValueError("data columns must be distinct and nonzero")
+        parity_columns = [1 << bit for bit in range(_PARITY)]
+        if set(data_columns) & set(parity_columns):
+            raise ValueError("data columns must not collide with parity columns")
+        self._columns = np.array(data_columns + parity_columns, dtype=np.int64)
+        # column -> codeword position for O(1) syndrome lookup
+        self._position = {int(col): idx for idx, col in enumerate(self._columns)}
+        # Bit matrix of the data columns for vectorized parity computation.
+        self._data_matrix = (
+            (self._columns[:_DATA, None] >> np.arange(_PARITY)) & 1
+        ).astype(np.uint8)  # shape (64, 8)
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        bits = self._check_data(data)
+        parity = (bits @ self._data_matrix) & 1
+        return np.concatenate([bits, parity.astype(np.uint8)])
+
+    def _syndrome(self, codeword: np.ndarray) -> int:
+        bits = codeword.astype(bool)
+        syndrome = 0
+        for column in self._columns[bits]:
+            syndrome ^= int(column)
+        return syndrome
+
+    def decode(self, codeword: np.ndarray) -> DecodeResult:
+        bits = self._check_codeword(codeword)
+        syndrome = self._syndrome(bits)
+        if syndrome == 0:
+            return DecodeResult(bits[:_DATA].copy(), DecodeOutcome.CLEAN)
+        position = self._position.get(syndrome)
+        if position is not None and self._correctable(syndrome):
+            repaired = bits.copy()
+            repaired[position] ^= 1
+            return DecodeResult(repaired[:_DATA], DecodeOutcome.CORRECTED)
+        return DecodeResult(bits[:_DATA].copy(), DecodeOutcome.DETECTED)
+
+    def _correctable(self, syndrome: int) -> bool:
+        """Whether a column-matching syndrome should be corrected."""
+        return True
+
+
+class Sec72(_HammingBase):
+    """Single-error-correcting (72, 64) code with mixed-weight columns.
+
+    Double errors whose XOR matches another column miscorrect silently.
+    """
+
+    def __init__(self) -> None:
+        # Any 64 distinct nonzero non-identity columns: mix of weights.
+        columns = [
+            value for value in range(3, 256)
+            if value not in {1 << b for b in range(_PARITY)}
+        ][:_DATA]
+        super().__init__(columns)
+
+
+class Secded72(_HammingBase):
+    """Hsiao SECDED (72, 64): odd-weight columns only.
+
+    A double error XORs two odd-weight columns into an even-weight
+    syndrome, which never matches a column — DETECTED, not miscorrected.
+    Triple errors can alias back to odd weight and miscorrect; Table 3's
+    SECDED "undetectable" row is exactly that triple-error probability.
+    """
+
+    def __init__(self) -> None:
+        weight3 = _weight_columns(3)  # 56 columns
+        weight5 = _weight_columns(5)[: _DATA - len(weight3)]  # 8 more
+        super().__init__(weight3 + weight5)
+
+    def _correctable(self, syndrome: int) -> bool:
+        # Only odd-weight syndromes are treated as single errors.
+        return bin(syndrome).count("1") % 2 == 1

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the vrd-repro library.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the vrd-repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with invalid or inconsistent parameters."""
+
+
+class AddressError(ReproError):
+    """A DRAM address (bank, row, column) is out of range or malformed."""
+
+
+class TimingViolationError(ReproError):
+    """A DRAM command was issued in violation of a JEDEC timing constraint."""
+
+
+class CommandSequenceError(ReproError):
+    """A DRAM command is illegal in the current bank state.
+
+    For example activating an already-activated bank without an intervening
+    precharge, or reading from a precharged bank.
+    """
+
+
+class ProgramError(ReproError):
+    """A DRAM Bender test program is malformed or failed to execute."""
+
+
+class MeasurementError(ReproError):
+    """An RDT measurement could not be completed.
+
+    Raised, for instance, when a hammer-count sweep exhausts its range
+    without observing a bitflip, or when ``find_victim`` scans the whole
+    bank without finding a row below the vulnerability threshold.
+    """
+
+
+class EccError(ReproError):
+    """An ECC codec was used with malformed codewords or parameters."""
+
+
+class CatalogError(ReproError):
+    """A chip-catalog lookup failed (unknown module or chip identifier)."""
+
+
+class SimulationError(ReproError):
+    """The memory-system simulator reached an inconsistent state."""

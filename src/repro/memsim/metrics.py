@@ -1,0 +1,43 @@
+"""Performance metrics for the mitigation study."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import SimulationError
+from repro.memsim.system import SimulationResult
+
+
+def normalized_weighted_speedup(
+    run: SimulationResult, baseline: SimulationResult
+) -> float:
+    """Fig. 14's metric: weighted speedup normalized to no mitigation.
+
+    Each core executes a fixed number of instructions per LLC miss, so the
+    per-core IPC ratio equals the per-core completed-request ratio; the
+    weighted speedup is their mean.
+    """
+    if run.mix_name != baseline.mix_name:
+        raise SimulationError(
+            f"mix mismatch: {run.mix_name} vs {baseline.mix_name}"
+        )
+    ratios = []
+    for mitigated, base in zip(run.requests_per_core, baseline.requests_per_core):
+        if base == 0:
+            raise SimulationError(
+                "baseline completed no requests; widen the simulation window"
+            )
+        ratios.append(mitigated / base)
+    return sum(ratios) / len(ratios)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean used to aggregate across workload mixes."""
+    if not values:
+        raise SimulationError("need at least one value")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise SimulationError("geometric mean needs positive values")
+        product *= value
+    return product ** (1.0 / len(values))

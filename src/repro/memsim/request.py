@@ -1,0 +1,34 @@
+"""Memory request record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class MemRequest:
+    """One last-level-cache miss heading to DRAM.
+
+    Times are nanoseconds. ``completed_at`` is filled by the controller.
+    """
+
+    core: int
+    bank: int
+    row: int
+    is_write: bool = False
+    issued_at: float = 0.0
+    completed_at: Optional[float] = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.core < 0 or self.bank < 0 or self.row < 0:
+            raise SimulationError("request addresses must be non-negative")
+
+    @property
+    def latency_ns(self) -> float:
+        if self.completed_at is None:
+            raise SimulationError("request has not completed")
+        return self.completed_at - self.issued_at

@@ -1,0 +1,90 @@
+"""BlockHammer-style throttling mitigation.
+
+The third mitigation class the paper's Sec. 2.3 names (besides preventive
+refresh and isolation): *selectively throttle* accesses to rows approaching
+the threshold. We model the BlockHammer idea with a per-bank counting
+Bloom-filter-like structure (a small array of saturating counters indexed
+by row hash): once a row's estimated activation count within the tracking
+window crosses a quota derived from the threshold, further activations of
+that row are delayed.
+
+Throttling never loses row data (no preventive refresh needed), but its
+performance cost lands entirely on the offending rows' accesses — benign
+hot rows in tight reuse loops pay, which is why refresh-based schemes win
+on typical workloads at moderate thresholds and throttling only becomes
+competitive at very low thresholds (evaluated by
+``benchmarks/test_ext_throttling.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mitigations.base import Mitigation, PreventiveAction
+
+#: Throttle delay applied to an over-quota activation (ns). Chosen near the
+#: time a preventive refresh of two victims would cost, so the comparison
+#: against refresh-based schemes is about *placement* of the penalty.
+THROTTLE_DELAY_NS = 120.0
+
+
+class BlockHammer(Mitigation):
+    """Counting-filter throttling of rapidly activated rows."""
+
+    name = "BlockHammer"
+
+    def __init__(
+        self,
+        threshold: float,
+        filter_size: int = 1024,
+        n_hashes: int = 2,
+        quota_fraction: float = 0.5,
+    ):
+        super().__init__(threshold)
+        if filter_size < 1:
+            raise ConfigurationError("filter_size must be >= 1")
+        if n_hashes < 1:
+            raise ConfigurationError("n_hashes must be >= 1")
+        if not 0.0 < quota_fraction <= 1.0:
+            raise ConfigurationError("quota_fraction must be in (0, 1]")
+        self.filter_size = filter_size
+        self.n_hashes = n_hashes
+        self.quota = max(1, int(self.threshold * quota_fraction))
+        self._filters: Dict[int, np.ndarray] = {}
+        self.throttled_activations = 0
+
+    def _indices(self, row: int) -> List[int]:
+        indices = []
+        value = row
+        for salt in range(self.n_hashes):
+            value = (value * 2654435761 + salt * 40503 + 12345) & 0xFFFFFFFF
+            indices.append(value % self.filter_size)
+        return indices
+
+    def _estimate(self, bank: int, row: int) -> int:
+        """Count-min estimate of the row's activations this window."""
+        counters = self._filters.get(bank)
+        if counters is None:
+            return 0
+        return int(min(counters[i] for i in self._indices(row)))
+
+    def on_activate(self, bank: int, row: int, now: float) -> PreventiveAction:
+        counters = self._filters.setdefault(
+            bank, np.zeros(self.filter_size, dtype=np.int64)
+        )
+        for index in self._indices(row):
+            counters[index] += 1
+        if self._estimate(bank, row) > self.quota:
+            self.throttled_activations += 1
+            # No refresh, no rank stall: the penalty lands on this bank
+            # alone (throttling-class mitigation).
+            return PreventiveAction(
+                bank_delays=[(bank, THROTTLE_DELAY_NS)]
+            )
+        return PreventiveAction()
+
+    def on_refresh_window(self, now: float) -> None:
+        self._filters.clear()

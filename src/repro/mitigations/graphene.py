@@ -1,0 +1,67 @@
+"""Graphene: Misra-Gries frequent-element aggressor tracking (MICRO 2020).
+
+A memory-controller-side table of counters per bank identifies rows whose
+activation count could reach the configured threshold within one refresh
+window; their neighbors are preventively refreshed when an estimated count
+crosses half the threshold (refresh then resets the victim's exposure, so
+the other half of the budget covers the rest of the window).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.mitigations.base import Mitigation, PreventiveAction, neighbors_of
+
+
+class Graphene(Mitigation):
+    """Misra-Gries tracker with per-bank tables."""
+
+    name = "Graphene"
+
+    def __init__(
+        self,
+        threshold: float,
+        activations_per_window: int = 1_400_000,
+        table_scale: float = 1.0,
+    ):
+        super().__init__(threshold)
+        self.refresh_at = max(1, int(self.threshold / 2.0))
+        # Misra-Gries needs W / refresh_at counters to guarantee no row
+        # exceeds refresh_at undetected within a window of W activations.
+        table_size = int(
+            math.ceil(table_scale * activations_per_window / self.refresh_at)
+        )
+        if table_size < 1:
+            raise ConfigurationError("Graphene table size must be >= 1")
+        self.table_size = table_size
+        self._tables: Dict[int, Dict[int, int]] = {}
+        #: Misra-Gries spillover counter per bank.
+        self._spill: Dict[int, int] = {}
+
+    def on_activate(self, bank: int, row: int, now: float) -> PreventiveAction:
+        table = self._tables.setdefault(bank, {})
+        spill = self._spill.get(bank, 0)
+        if row in table:
+            table[row] += 1
+        elif len(table) < self.table_size:
+            table[row] = spill + 1
+        else:
+            # Decrement-all via spillover increment (lazy Misra-Gries).
+            self._spill[bank] = spill + 1
+            evicted = [r for r, c in table.items() if c <= self._spill[bank]]
+            for r in evicted:
+                del table[r]
+            return self._count_action(PreventiveAction())
+        if table[row] >= self.refresh_at:
+            table[row] = self._spill.get(bank, 0)
+            return self._count_action(
+                PreventiveAction(victim_refreshes=neighbors_of(bank, row))
+            )
+        return PreventiveAction()
+
+    def on_refresh_window(self, now: float) -> None:
+        self._tables.clear()
+        self._spill.clear()

@@ -1,0 +1,61 @@
+"""MINT: minimalist in-DRAM tracker (Qureshi et al., 2024).
+
+The DRAM samples one activation per RFM interval with a single-entry
+tracker and mitigates the sampled row when the controller issues RFM. The
+controller must issue an RFM every N activations per bank, with N derived
+from the configured threshold; like PRAC's back-off threshold, N is
+quantized to a power of two, producing the step-function overhead the
+paper's footnote 16 notes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.mitigations.base import (
+    Mitigation,
+    PreventiveAction,
+    RFM_BLOCK_NS,
+    neighbors_of,
+)
+from repro.mitigations.prac import quantize_pow2
+from repro.rng import derive
+
+
+class Mint(Mitigation):
+    """Single-entry reservoir sampler paced by RFM."""
+
+    name = "MINT"
+
+    #: Security-analysis divisor: an RFM every threshold/4 activations.
+    RFM_DIVISOR = 4.0
+
+    def __init__(self, threshold: float, seed: int = 0):
+        super().__init__(threshold)
+        self.rfm_every = quantize_pow2(self.threshold / self.RFM_DIVISOR)
+        self._rng = derive(seed, "mint", int(threshold))
+        self._acts_since_rfm: Dict[int, int] = {}
+        self._sampled: Dict[int, Optional[Tuple[int, int]]] = {}
+
+    def on_activate(self, bank: int, row: int, now: float) -> PreventiveAction:
+        count = self._acts_since_rfm.get(bank, 0) + 1
+        # Reservoir sampling: the k-th activation replaces the sample with
+        # probability 1/k, giving each activation in the interval an equal
+        # chance of being the mitigated one.
+        if self._rng.random() < 1.0 / count:
+            self._sampled[bank] = (bank, row)
+        if count >= self.rfm_every:
+            self._acts_since_rfm[bank] = 0
+            sampled = self._sampled.pop(bank, None)
+            victims = neighbors_of(*sampled) if sampled else []
+            return self._count_action(
+                PreventiveAction(
+                    victim_refreshes=victims, rank_block_ns=RFM_BLOCK_NS
+                )
+            )
+        self._acts_since_rfm[bank] = count
+        return PreventiveAction()
+
+    def on_refresh_window(self, now: float) -> None:
+        self._acts_since_rfm.clear()
+        self._sampled.clear()

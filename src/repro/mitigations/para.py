@@ -1,0 +1,54 @@
+"""PARA: probabilistic adjacent-row activation (Kim et al., ISCA 2014).
+
+Stateless: every activation refreshes the aggressor's neighbors with a
+small probability p. For a threshold T, p must satisfy
+``(1 - p)^T <= P_fail`` so an attacker cannot reach T activations without a
+refresh except with negligible probability; hence ``p ~ ln(1/P_fail) / T``
+and the overhead grows inversely with the configured threshold.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.mitigations.base import Mitigation, PreventiveAction, neighbors_of
+from repro.rng import derive
+
+
+class Para(Mitigation):
+    """Probabilistic neighbor refresh."""
+
+    name = "PARA"
+
+    def __init__(
+        self,
+        threshold: float,
+        failure_probability: float = 1e-10,
+        seed: int = 0,
+    ):
+        super().__init__(threshold)
+        # (1-p)^T = P_fail  =>  p = 1 - P_fail^(1/T)
+        self.p = min(1.0, 1.0 - failure_probability ** (1.0 / self.threshold))
+        self._rng = derive(seed, "para", int(threshold))
+
+    def on_activate(self, bank: int, row: int, now: float) -> PreventiveAction:
+        if self._rng.random() < self.p:
+            return self._count_action(
+                PreventiveAction(victim_refreshes=neighbors_of(bank, row))
+            )
+        return PreventiveAction()
+
+    @property
+    def expected_refreshes_per_activation(self) -> float:
+        """Analytic overhead rate: 2p victim refreshes per ACT."""
+        return 2.0 * self.p
+
+
+def para_probability(threshold: float, failure_probability: float = 1e-10) -> float:
+    """The p PARA needs for a given threshold (exposed for analysis)."""
+    return min(1.0, 1.0 - failure_probability ** (1.0 / threshold))
+
+
+def para_overhead_bound(threshold: float) -> float:
+    """Rule-of-thumb ln(1/Pfail)/T used in the literature."""
+    return min(1.0, math.log(1e10) / threshold)

@@ -1,0 +1,60 @@
+"""PRAC: per-row activation counters with back-off (DDR5, JESD79-5C).
+
+The DRAM keeps an exact activation counter in every row. When a counter
+crosses the configured back-off threshold, the device raises an alert and
+the controller issues RFM-class commands, stalling the rank while the DRAM
+refreshes the potential victims and resets the counter.
+
+The back-off threshold is quantized to a power of two (counter compare
+logic), which is why the paper observes PRAC's overhead *not* changing as
+the configured RDT moves from 128 to 115 (footnote 16).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from repro.mitigations.base import (
+    Mitigation,
+    PreventiveAction,
+    RFM_BLOCK_NS,
+    neighbors_of,
+)
+
+
+def quantize_pow2(value: float) -> int:
+    """Nearest power of two (in log space), minimum 1."""
+    if value <= 1.0:
+        return 1
+    return 1 << round(math.log2(value))
+
+
+class Prac(Mitigation):
+    """Per-row activation counting with alert/back-off."""
+
+    name = "PRAC"
+
+    def __init__(self, threshold: float, headroom: float = 0.8):
+        super().__init__(threshold)
+        # Alert early enough that in-flight activations cannot overshoot.
+        self.backoff_at = quantize_pow2(self.threshold * headroom)
+        self._counters: Dict[Tuple[int, int], int] = {}
+
+    def on_activate(self, bank: int, row: int, now: float) -> PreventiveAction:
+        key = (bank, row)
+        count = self._counters.get(key, 0) + 1
+        if count >= self.backoff_at:
+            self._counters[key] = 0
+            return self._count_action(
+                PreventiveAction(
+                    victim_refreshes=neighbors_of(bank, row),
+                    rank_block_ns=RFM_BLOCK_NS,
+                )
+            )
+        self._counters[key] = count
+        return PreventiveAction()
+
+    def on_refresh_window(self, now: float) -> None:
+        # Periodic refresh resets victim exposure, so counters restart.
+        self._counters.clear()

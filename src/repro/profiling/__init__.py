@@ -1,0 +1,31 @@
+"""Online RDT profiling (the paper's Sec. 6.5 future-work direction 2).
+
+Exhaustive offline RDT profiling is prohibitively slow (Appendix A) and —
+because of VRD — never definitely finished (Takeaway 2). The paper calls
+for *online* profiling mechanisms that measure RDT opportunistically while
+the system runs, plus mitigations that reconfigure their threshold from the
+live profile (direction 3; see :mod:`repro.mitigations.adaptive`).
+
+This package implements that direction against the simulated devices:
+
+* :class:`OnlineRdtProfiler` spends idle-time budgets on single RDT
+  measurements, maintains per-row running minima, and accounts for the
+  DRAM time it steals;
+* threshold policies (:mod:`repro.profiling.policy`) convert a live
+  profile into a mitigation threshold with a guardband.
+"""
+
+from repro.profiling.online import OnlineRdtProfiler, RowProfile
+from repro.profiling.policy import (
+    GuardbandedMinPolicy,
+    StaticThresholdPolicy,
+    ThresholdPolicy,
+)
+
+__all__ = [
+    "OnlineRdtProfiler",
+    "RowProfile",
+    "ThresholdPolicy",
+    "StaticThresholdPolicy",
+    "GuardbandedMinPolicy",
+]

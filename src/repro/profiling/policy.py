@@ -1,0 +1,69 @@
+"""Threshold policies: from a (live) RDT profile to a mitigation setting.
+
+The paper's Sec. 6.5 direction 3: mitigations that dynamically configure
+their read disturbance threshold by cooperating with online profiling. A
+policy answers "what threshold should the mitigation run at *now*?" —
+statically, or from the profiler's current global minimum with a guardband.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError, MeasurementError
+
+if TYPE_CHECKING:
+    from repro.profiling.online import OnlineRdtProfiler
+
+
+class ThresholdPolicy(ABC):
+    """Supplies the mitigation's current read disturbance threshold."""
+
+    @abstractmethod
+    def threshold(self) -> float:
+        """The threshold to configure the mitigation with right now."""
+
+
+class StaticThresholdPolicy(ThresholdPolicy):
+    """A fixed threshold (today's practice: one offline profile, forever)."""
+
+    def __init__(self, value: float):
+        if value < 1.0:
+            raise ConfigurationError(f"threshold must be >= 1, got {value}")
+        self._value = float(value)
+
+    def threshold(self) -> float:
+        return self._value
+
+
+class GuardbandedMinPolicy(ThresholdPolicy):
+    """Live minimum from an online profiler, reduced by a guardband.
+
+    Before the profiler has any estimate, a conservative bootstrap
+    threshold applies (the factory-floor worst case). As measurements
+    accumulate, the threshold follows the tightening minimum — trading the
+    performance of optimistic early thresholds against the security of
+    converged ones (quantified by ``benchmarks/test_ext_security.py``).
+    """
+
+    def __init__(
+        self,
+        profiler: "OnlineRdtProfiler",
+        margin: float = 0.2,
+        bootstrap: float = 32.0,
+    ):
+        if not 0.0 <= margin < 1.0:
+            raise ConfigurationError(f"margin {margin} must be in [0, 1)")
+        if bootstrap < 1.0:
+            raise ConfigurationError("bootstrap threshold must be >= 1")
+        self.profiler = profiler
+        self.margin = margin
+        self.bootstrap = float(bootstrap)
+
+    def threshold(self) -> float:
+        try:
+            minimum = self.profiler.global_min_estimate()
+        except MeasurementError:
+            return self.bootstrap
+        return max(1.0, minimum * (1.0 - self.margin))

@@ -1,0 +1,24 @@
+"""RDT test-time and energy estimation (paper Appendix A).
+
+Implements the paper's methodology for estimating how long (and how much
+energy) exhaustive RDT characterization takes: tightly scheduled DRAM
+command sequences for single-bank (Table 4) and multi-bank (Table 5)
+measurements using the DDR5 timing parameters of Table 6, plus the sweep
+generators behind Figs. 17-24.
+"""
+
+from repro.testtime.schedule import (
+    MeasurementSchedule,
+    multi_bank_schedule,
+    single_bank_schedule,
+)
+from repro.testtime.energy import EnergyModel
+from repro.testtime.estimator import TestTimeEstimator
+
+__all__ = [
+    "MeasurementSchedule",
+    "single_bank_schedule",
+    "multi_bank_schedule",
+    "EnergyModel",
+    "TestTimeEstimator",
+]

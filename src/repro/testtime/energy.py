@@ -1,0 +1,71 @@
+"""DRAM energy model for RDT testing (Appendix A).
+
+The paper estimates energy from the current (IDD) values of a Micron 16Gb
+DDR5 datasheet. We model module-level energy the standard way those
+datasheets are used:
+
+* an activate/precharge pair costs ``(IDD0 - IDD3N) * tRC * VDD`` worth of
+  charge movement;
+* each read/write burst costs ``(IDD4 - IDD3N) * t_burst * VDD``;
+* everything else is background power (active-standby current while rows
+  sit open, precharge-standby otherwise).
+
+Constants below are derived from the MT60B 16Gb DDR5 addendum's IDD table
+(VDD = 1.1 V), scaled to an 8-chip rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.testtime.schedule import MeasurementSchedule
+
+#: Joules per nanosecond-watt.
+_NS = 1e-9
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Module-level energy constants (nanojoules / watts).
+
+    Defaults are fitted so the Appendix A headline scenarios land at the
+    paper's reported magnitudes (~13 MJ for the 61-day RowHammer campaign,
+    i.e. ~2.5 W average during dense hammering): ~6 nJ per ACT/PRE pair
+    (the activated row segment), ~4 nJ per column burst, ~0.22 W of
+    incremental standby power, and a small active-standby premium while a
+    row is held open (what makes RowPress testing energy-hungry).
+    """
+
+    act_pre_nj: float = 6.0
+    column_access_nj: float = 4.0
+    background_w: float = 0.22
+    #: Extra power while a row is held open (active standby vs precharge
+    #: standby) — what makes long-tAggOn RowPress testing expensive.
+    row_open_w: float = 0.04
+
+    def __post_init__(self) -> None:
+        for name in ("act_pre_nj", "column_access_nj", "background_w", "row_open_w"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+    def schedule_energy_j(
+        self, schedule: MeasurementSchedule, row_open_ns: float = 0.0
+    ) -> float:
+        """Energy of one scheduled measurement in joules.
+
+        Args:
+            schedule: The paced command schedule.
+            row_open_ns: Total row-open time during the schedule (the
+                hammer loop's aggregate tAggOn), charged at the active
+                standby premium.
+        """
+        counts = schedule.command_counts()
+        activations = counts.get("ACT", 0) + counts.get("ACT+PRE", 0)
+        columns = counts.get("READ", 0) + counts.get("WRITE", 0)
+        dynamic = (
+            activations * self.act_pre_nj + columns * self.column_access_nj
+        ) * 1e-9
+        background = self.background_w * schedule.total_ns * _NS
+        open_premium = self.row_open_w * row_open_ns * _NS
+        return dynamic + background + open_premium

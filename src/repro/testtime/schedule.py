@@ -1,0 +1,143 @@
+"""Command schedules for one RDT measurement (paper Tables 4 and 5).
+
+A measurement = initialize victim and both aggressors (full-row writes),
+hammer double-sided, read the victim back. Table 4 schedules it in one bank;
+Table 5 overlaps up to 16 banks, limited by tRRD_S for activations and
+tCCD_S for column commands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.dram.timing import DDR5_8800, TimingParams
+from repro.errors import ConfigurationError
+
+#: Column commands per full-row access (Appendix A uses 128).
+COLUMNS_PER_ROW = 128
+
+
+@dataclass(frozen=True)
+class SchedulePhase:
+    """One row of Tables 4/5: a command, its pacing, and its count."""
+
+    command: str
+    pacing: str  # the timing parameter that paces it, for reporting
+    count: int
+    duration_ns: float
+
+
+@dataclass
+class MeasurementSchedule:
+    """A fully paced command schedule for one RDT measurement."""
+
+    name: str
+    phases: List[SchedulePhase] = field(default_factory=list)
+
+    @property
+    def total_ns(self) -> float:
+        return sum(phase.duration_ns for phase in self.phases)
+
+    def command_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for phase in self.phases:
+            counts[phase.command] = counts.get(phase.command, 0) + phase.count
+        return counts
+
+    def as_table(self) -> List[Tuple[str, str, int, float]]:
+        """Rows shaped like the paper's Tables 4/5 (plus duration)."""
+        return [
+            (phase.command, phase.pacing, phase.count, phase.duration_ns)
+            for phase in self.phases
+        ]
+
+
+def _row_write_phases(
+    timing: TimingParams, label: str
+) -> List[SchedulePhase]:
+    """ACT + 128 writes + PRE for one row (Table 4's per-row block)."""
+    return [
+        SchedulePhase("ACT", "tRCD", 1, timing.tRCD),
+        SchedulePhase(
+            "WRITE", "tCCD_L_WR", COLUMNS_PER_ROW - 1,
+            (COLUMNS_PER_ROW - 1) * timing.tCCD_L_WR,
+        ),
+        SchedulePhase("WRITE", "tWR", 1, timing.tWR),
+        SchedulePhase("PRE", "tRP", 1, timing.tRP),
+    ]
+
+
+def single_bank_schedule(
+    hammer_count: int,
+    t_agg_on: float,
+    timing: TimingParams = DDR5_8800,
+) -> MeasurementSchedule:
+    """Table 4: one RDT measurement for one victim row in one bank."""
+    if hammer_count < 0:
+        raise ConfigurationError("hammer count must be >= 0")
+    t_on = max(t_agg_on, timing.tRAS)
+    schedule = MeasurementSchedule(name="single-bank")
+    for label in ("victim", "aggressor1", "aggressor2"):
+        schedule.phases.extend(_row_write_phases(timing, label))
+    # Hammer loop: each hammer holds each aggressor open t_on, then tRP.
+    schedule.phases.append(
+        SchedulePhase("ACT+PRE", "tAggOn+tRP", 2 * hammer_count,
+                      2 * hammer_count * (t_on + timing.tRP))
+    )
+    # Victim readback.
+    schedule.phases.append(SchedulePhase("ACT", "tRCD", 1, timing.tRCD))
+    schedule.phases.append(
+        SchedulePhase("READ", "tCCD_L", COLUMNS_PER_ROW - 1,
+                      (COLUMNS_PER_ROW - 1) * timing.tCCD_L)
+    )
+    schedule.phases.append(SchedulePhase("READ", "tRTP", 1, timing.tRTP))
+    return schedule
+
+
+def multi_bank_schedule(
+    hammer_count: int,
+    t_agg_on: float,
+    n_banks: int = 16,
+    timing: TimingParams = DDR5_8800,
+) -> MeasurementSchedule:
+    """Table 5: one RDT measurement per bank, overlapped across banks.
+
+    Activations across bank groups are paced by tRRD_S and column commands
+    by tCCD_S, so initializing N banks' victims costs N ACTs at tRRD_S
+    pitch plus N x 127 writes at tCCD_S pitch. During the hammer loop each
+    round's N activations take max(tAggOn, tRRD_S * N) before the shared
+    precharge, exactly as Table 5 lists.
+    """
+    if n_banks < 1:
+        raise ConfigurationError("need at least one bank")
+    if hammer_count < 0:
+        raise ConfigurationError("hammer count must be >= 0")
+    t_on = max(t_agg_on, timing.tRAS)
+    schedule = MeasurementSchedule(name=f"multi-bank-{n_banks}")
+    writes = n_banks * (COLUMNS_PER_ROW - 1)
+    for label in ("victim", "aggressor1", "aggressor2"):
+        schedule.phases.extend(
+            [
+                SchedulePhase("ACT", "tRRD_S", n_banks, n_banks * timing.tRRD_S),
+                SchedulePhase("WRITE", "tCCD_S", writes, writes * timing.tCCD_S),
+                SchedulePhase("WRITE", "tWR", 1, timing.tWR),
+                SchedulePhase("PRE", "tRP", 1, timing.tRP),
+            ]
+        )
+    round_on = max(t_on, timing.tRRD_S * n_banks)
+    schedule.phases.append(
+        SchedulePhase(
+            "ACT+PRE", "max(tAggOn,tRRD_S*banks)+tRP", 2 * hammer_count * n_banks,
+            2 * hammer_count * (round_on + timing.tRP),
+        )
+    )
+    reads = n_banks * (COLUMNS_PER_ROW - 1)
+    schedule.phases.append(
+        SchedulePhase("ACT", "tRRD_S", n_banks, n_banks * timing.tRRD_S)
+    )
+    schedule.phases.append(
+        SchedulePhase("READ", "tCCD_S", reads, reads * timing.tCCD_S)
+    )
+    schedule.phases.append(SchedulePhase("READ", "tRTP", 1, timing.tRTP))
+    return schedule

@@ -1,0 +1,37 @@
+"""Tests for the shared figure drivers."""
+
+import pytest
+
+from repro.analysis.figures import (
+    campaigns_for,
+    foundational_victim_series,
+    module_campaign,
+    victim_threshold_for,
+)
+from repro.chips import spec
+
+
+def test_victim_threshold_adapts_to_hbm():
+    assert victim_threshold_for(spec("M1")) == 40_000.0
+    assert victim_threshold_for(spec("Chip3")) > 40_000.0
+
+
+def test_foundational_series_reproducible():
+    a = foundational_victim_series("M1", 300)
+    b = foundational_victim_series("M1", 300)
+    assert a.row == b.row
+    assert a.min == b.min and a.max == b.max
+
+
+def test_module_campaign_small():
+    result = module_campaign(
+        "H2", rows_per_block=2, n_measurements=200,
+    )
+    # 6 rows x 4 patterns.
+    assert len(result) == 24
+    assert len(result.rows()) == 6
+
+
+def test_campaigns_for_multiple_modules():
+    results = campaigns_for(["M0", "S4"], rows_per_block=1, n_measurements=100)
+    assert set(results) == {"M0", "S4"}

@@ -1,0 +1,25 @@
+"""Tests for ASCII table rendering."""
+
+from repro.analysis.tables import format_table
+
+
+def test_alignment_and_title():
+    text = format_table(
+        ["name", "value"],
+        [["alpha", 1.5], ["b", 123456.0]],
+        title="Demo",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert len(lines) == 5
+    # Columns align: every row has the same position for column 2.
+    assert lines[1].index("value") == lines[3].index("1.5")
+
+
+def test_number_formats():
+    text = format_table(["x"], [[0.00001], [12345678.0], [0], [True]])
+    assert "1e-05" in text
+    assert "1.23e+07" in text
+    assert "True" in text

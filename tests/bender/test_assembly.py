@@ -1,0 +1,127 @@
+"""Tests for the test-program assembly format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bender.assembly import assemble, disassemble
+from repro.bender.interpreter import Interpreter
+from repro.bender.isa import Act, Hammer, Pre, ReadRow, Wait, WriteRow
+from repro.bender.program import ProgramBuilder
+from repro.errors import ProgramError
+from tests.conftest import make_module
+
+
+EXAMPLE = """
+# initialize and hammer
+ACT 0 100
+WRITE 0 100 0x55
+PRE 0
+HAMMER 0 99,101 500 35.0
+ACT 0 100
+READ 0 100 victim
+PRE 0 MIN_ON 100
+WAIT 12.5
+"""
+
+
+def test_assemble_example():
+    program = assemble(EXAMPLE, name="demo")
+    kinds = [type(i).__name__ for i in program]
+    assert kinds == [
+        "Act", "WriteRow", "Pre", "Hammer", "Act", "ReadRow", "Pre", "Wait",
+    ]
+    hammer = program.instructions[3]
+    assert hammer.rows == (99, 101)
+    assert hammer.count == 500
+    pre = program.instructions[6]
+    assert pre.min_on_ns == 100.0
+
+
+def test_assembled_program_executes():
+    module = make_module()
+    module.disable_interference_sources()
+    interp = Interpreter(module)
+    result = interp.run(assemble(EXAMPLE))
+    assert "victim" in result.reads
+    assert result.count("ACT") == 2 + 1000
+
+
+def test_roundtrip_builder_program():
+    builder = ProgramBuilder("rt")
+    builder.write_row(0, 5, 0xA5).hammer(0, [4, 6], 10, 35.0)
+    builder.read_row(0, 5, "v").wait(3.0).pre(0, min_on_ns=50.0)
+    program = builder.build()
+    text = disassemble(program)
+    reassembled = assemble(text, name="rt")
+    assert reassembled.instructions == program.instructions
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "ACT 0",                # missing row
+        "PRE",                  # missing bank
+        "PRE 0 MAX_ON 5",       # bad keyword
+        "WRITE 0 5",            # missing fill
+        "READ 0 5",             # missing tag
+        "WAIT",                 # missing duration
+        "HAMMER 0 1,2 10",      # missing on-time
+        "FROB 1 2 3",           # unknown opcode
+        "ACT zero 5",           # non-integer
+    ],
+)
+def test_malformed_lines_rejected(bad):
+    with pytest.raises(ProgramError):
+        assemble(bad)
+
+
+def test_disassemble_rejects_binary_image():
+    program = ProgramBuilder("x").build()
+    program.instructions.append(WriteRow(0, 5, fill=bytes(16)))
+    with pytest.raises(ProgramError):
+        disassemble(program)
+
+
+@given(
+    instructions=st.lists(
+        st.one_of(
+            st.builds(
+                Act,
+                bank=st.integers(0, 3),
+                row=st.integers(0, 1000),
+            ),
+            st.builds(
+                Pre,
+                bank=st.integers(0, 3),
+                min_on_ns=st.one_of(
+                    st.none(), st.floats(min_value=1.0, max_value=1e5)
+                ),
+            ),
+            st.builds(
+                WriteRow,
+                bank=st.integers(0, 3),
+                row=st.integers(0, 1000),
+                fill=st.integers(0, 255),
+            ),
+            st.builds(
+                Wait, duration_ns=st.floats(min_value=0.0, max_value=1e6)
+            ),
+            st.builds(
+                Hammer,
+                bank=st.integers(0, 3),
+                rows=st.lists(
+                    st.integers(0, 1000), min_size=1, max_size=3
+                ).map(tuple),
+                count=st.integers(0, 10_000),
+                t_agg_on=st.floats(min_value=1.0, max_value=1e5),
+            ),
+        ),
+        max_size=30,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_property(instructions):
+    program = ProgramBuilder("prop").build()
+    program.instructions.extend(instructions)
+    assert assemble(disassemble(program)).instructions == list(instructions)

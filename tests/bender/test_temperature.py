@@ -1,0 +1,48 @@
+"""Tests for the PID temperature controller."""
+
+import pytest
+
+from repro.bender.temperature import PidTemperatureController, ThermalPlant
+from repro.errors import ConfigurationError
+
+
+@pytest.mark.parametrize("target", [50.0, 65.0, 80.0])
+def test_settles_within_precision(target):
+    controller = PidTemperatureController()
+    settled = controller.settle(target)
+    # The paper's FT200 holds +/- 0.5 C.
+    assert abs(settled - target) <= 0.5
+
+
+def test_settle_history_converges_monotonically_enough():
+    controller = PidTemperatureController()
+    controller.settle(80.0)
+    tail = controller.history[-30:]
+    assert all(abs(temp - 80.0) <= 0.5 for temp in tail)
+
+
+def test_out_of_authority_rejected():
+    controller = PidTemperatureController()
+    with pytest.raises(ConfigurationError):
+        controller.settle(200.0)
+    with pytest.raises(ConfigurationError):
+        controller.settle(10.0)  # below ambient: no cooling
+
+
+def test_retarget_after_settle():
+    controller = PidTemperatureController()
+    controller.settle(50.0)
+    settled = controller.settle(80.0)
+    assert abs(settled - 80.0) <= 0.5
+
+
+def test_plant_relaxes_to_ambient():
+    plant = ThermalPlant(ambient_c=25.0, temperature_c=80.0)
+    for _ in range(1000):
+        plant.step(0.0, 1.0)
+    assert plant.temperature_c == pytest.approx(25.0, abs=0.5)
+
+
+def test_invalid_precision():
+    with pytest.raises(ConfigurationError):
+        PidTemperatureController(precision_c=0.0)

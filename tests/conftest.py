@@ -1,0 +1,45 @@
+"""Shared fixtures: small, fast simulated devices."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import TestConfig
+from repro.core.patterns import CHECKERED0
+from repro.dram.faults import VrdModelParams
+from repro.dram.geometry import DramGeometry
+from repro.dram.module import DramModule
+
+
+SMALL_GEOMETRY = DramGeometry(
+    n_banks=2, n_rows=1024, row_bits_per_chip=1024, n_chips=8
+)
+
+
+def make_module(
+    module_id: str = "TEST",
+    mean_rdt: float = 2000.0,
+    seed: int = 1234,
+    **param_overrides,
+) -> DramModule:
+    """A small module with a moderate RDT for fast bit-level tests."""
+    params = VrdModelParams(mean_rdt=mean_rdt, **param_overrides)
+    module = DramModule(
+        module_id,
+        geometry=SMALL_GEOMETRY,
+        vrd_params=params,
+        seed=seed,
+    )
+    return module
+
+
+@pytest.fixture
+def module() -> DramModule:
+    mod = make_module()
+    mod.disable_interference_sources()
+    return mod
+
+
+@pytest.fixture
+def reference_config(module) -> TestConfig:
+    return TestConfig(CHECKERED0, t_agg_on_ns=module.timing.tRAS)

@@ -1,0 +1,63 @@
+"""Tests for merging partial campaign results."""
+
+import pytest
+
+from repro.core.campaign import Campaign
+from repro.core.config import standard_configs
+from repro.core.patterns import ALL_PATTERNS
+from repro.errors import MeasurementError
+
+
+def run_campaign(module, patterns, rows):
+    configs = list(
+        standard_configs(
+            module.timing,
+            patterns=patterns,
+            temperatures=(50.0,),
+            t_agg_on_values=(module.timing.tRAS,),
+        )
+    )
+    return Campaign(module, configs, n_measurements=100).run(rows)
+
+
+def test_merge_disjoint_configs(module):
+    a = run_campaign(module, ALL_PATTERNS[:1], [10, 20])
+    b = run_campaign(module, ALL_PATTERNS[1:2], [10, 20])
+    merged = a.merge(b)
+    assert len(merged) == len(a) + len(b)
+    assert merged.rows() == [10, 20]
+    # Originals are untouched.
+    assert len(a) == 2 and len(b) == 2
+
+
+def test_merge_disjoint_rows(module):
+    a = run_campaign(module, ALL_PATTERNS[:1], [10])
+    b = run_campaign(module, ALL_PATTERNS[:1], [20])
+    merged = a.merge(b)
+    assert merged.rows() == [10, 20]
+
+
+def test_merge_rejects_duplicates(module):
+    a = run_campaign(module, ALL_PATTERNS[:1], [10])
+    b = run_campaign(module, ALL_PATTERNS[:1], [10])
+    with pytest.raises(MeasurementError):
+        a.merge(b)
+
+
+def test_merge_rejects_different_modules(module):
+    from tests.conftest import make_module
+
+    other = make_module(module_id="OTHER")
+    other.disable_interference_sources()
+    a = run_campaign(module, ALL_PATTERNS[:1], [10])
+    b = run_campaign(other, ALL_PATTERNS[:1], [20])
+    with pytest.raises(MeasurementError):
+        a.merge(b)
+
+
+def test_merged_metrics_consistent(module):
+    a = run_campaign(module, ALL_PATTERNS[:2], [10, 20])
+    b = run_campaign(module, ALL_PATTERNS[2:], [10, 20])
+    merged = a.merge(b)
+    full = run_campaign(module, ALL_PATTERNS, [10, 20])
+    assert merged.max_cv_per_row() == full.max_cv_per_row()

@@ -1,0 +1,118 @@
+"""Tests for the Sec. 6.3-6.4 guardband analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TestConfig
+from repro.core.guardband import (
+    bit_error_rate,
+    guardband_probability_analysis,
+    margin_bitflip_experiment,
+)
+from repro.core.patterns import CHECKERED0
+from repro.core.series import RdtSeries
+from repro.errors import MeasurementError
+from tests.conftest import make_module
+
+
+def synthetic_series(count=20, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        RdtSeries(np.round(rng.normal(1000, 15, 1000)), row=i)
+        for i in range(count)
+    ]
+
+
+class TestGuardbandProbability:
+    def test_structure(self):
+        results = guardband_probability_analysis(
+            synthetic_series(), margins=(0.10, 0.50), n_values=(1, 50)
+        )
+        assert len(results) == 4
+        for cell in results:
+            assert 0 <= cell.min_probability <= cell.mean_probability <= 1
+
+    def test_larger_margin_raises_probability(self):
+        series = synthetic_series()
+        results = {
+            (cell.margin, cell.n): cell
+            for cell in guardband_probability_analysis(
+                series, margins=(0.10, 0.50), n_values=(5,)
+            )
+        }
+        assert (
+            results[(0.50, 5)].mean_probability
+            >= results[(0.10, 5)].mean_probability
+        )
+
+    def test_more_measurements_raise_probability(self):
+        series = synthetic_series()
+        results = {
+            cell.n: cell
+            for cell in guardband_probability_analysis(
+                series, margins=(0.10,), n_values=(1, 50, 500)
+            )
+        }
+        assert (
+            results[1].mean_probability
+            <= results[50].mean_probability
+            <= results[500].mean_probability
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(MeasurementError):
+            guardband_probability_analysis([])
+
+
+class TestMarginBitflips:
+    def test_experiment_structure(self, module, reference_config):
+        results = margin_bitflip_experiment(
+            module,
+            row=100,
+            config=reference_config,
+            margins=(0.10, 0.30),
+            trials=500,
+        )
+        assert [r.margin for r in results] == [0.10, 0.30]
+        for result in results:
+            assert result.hammer_count > 0
+            assert result.flipping_trials <= result.trials
+            assert result.n_unique_flips <= module.geometry.row_bits
+
+    def test_larger_margin_fewer_flips(self, module, reference_config):
+        results = margin_bitflip_experiment(
+            module,
+            row=100,
+            config=reference_config,
+            margins=(0.10, 0.50),
+            trials=2000,
+        )
+        by_margin = {r.margin: r for r in results}
+        assert (
+            by_margin[0.50].flipping_trials <= by_margin[0.10].flipping_trials
+        )
+
+    def test_flips_by_chip_and_codeword(self, module, reference_config):
+        results = margin_bitflip_experiment(
+            module, row=100, config=reference_config, margins=(0.10,),
+            trials=2000,
+        )
+        result = results[0]
+        grouped = result.flips_by_chip(module.geometry)
+        assert sum(len(bits) for bits in grouped.values()) == result.n_unique_flips
+        assert result.max_flips_per_codeword() <= max(1, result.n_unique_flips)
+
+    def test_invalid_margin(self, module, reference_config):
+        with pytest.raises(MeasurementError):
+            margin_bitflip_experiment(
+                module, 100, reference_config, margins=(1.5,), trials=10
+            )
+
+    def test_bit_error_rate(self, module, reference_config):
+        results = margin_bitflip_experiment(
+            module, 100, reference_config, margins=(0.10,), trials=100
+        )
+        ber = bit_error_rate(results, module.geometry.row_bits)
+        assert 0.0 <= ber <= 1.0
+        with pytest.raises(MeasurementError):
+            bit_error_rate([], 100)

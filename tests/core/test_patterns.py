@@ -1,0 +1,39 @@
+"""Tests for the Table 2 data patterns."""
+
+import pytest
+
+from repro.core.patterns import (
+    ALL_PATTERNS,
+    CHECKERED0,
+    CHECKERED1,
+    ROWSTRIPE0,
+    ROWSTRIPE1,
+    pattern_by_name,
+)
+from repro.errors import ConfigurationError
+
+
+def test_table2_bytes():
+    assert ROWSTRIPE0.victim_byte == 0x00 and ROWSTRIPE0.aggressor_byte == 0xFF
+    assert ROWSTRIPE1.victim_byte == 0xFF and ROWSTRIPE1.aggressor_byte == 0x00
+    assert CHECKERED0.victim_byte == 0x55 and CHECKERED0.aggressor_byte == 0xAA
+    assert CHECKERED1.victim_byte == 0xAA and CHECKERED1.aggressor_byte == 0x55
+
+
+def test_four_patterns_in_paper_order():
+    assert [p.name for p in ALL_PATTERNS] == [
+        "rowstripe0", "rowstripe1", "checkered0", "checkered1",
+    ]
+
+
+def test_lookup_case_insensitive():
+    assert pattern_by_name("Checkered0") is CHECKERED0
+    with pytest.raises(ConfigurationError):
+        pattern_by_name("zigzag")
+
+
+def test_invalid_byte_rejected():
+    from repro.core.patterns import DataPattern
+
+    with pytest.raises(ConfigurationError):
+        DataPattern("bad", 0x1FF)

@@ -1,0 +1,127 @@
+"""Tests for the Sec. 4 statistical analyses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import stats
+from repro.errors import MeasurementError
+
+
+class TestRunLengths:
+    def test_basic(self):
+        lengths = stats.run_lengths(np.array([5.0, 5.0, 7.0, 5.0]))
+        assert list(lengths) == [2, 1, 1]
+
+    def test_empty(self):
+        assert stats.run_lengths(np.array([])).size == 0
+
+    def test_histogram(self):
+        hist = stats.run_length_histogram(np.array([1.0, 1.0, 2.0, 2.0, 3.0]))
+        assert hist == {1: 1, 2: 2}
+
+    @given(
+        st.lists(st.sampled_from([1.0, 2.0, 3.0]), min_size=1, max_size=300)
+    )
+    def test_lengths_sum_to_series_length(self, values):
+        lengths = stats.run_lengths(np.array(values))
+        assert lengths.sum() == len(values)
+        assert np.all(lengths >= 1)
+
+    def test_fraction_single_changes(self):
+        # Alternating series: every run has length 1.
+        values = np.array([1.0, 2.0] * 50)
+        assert stats.fraction_single_measurement_changes(values) == 1.0
+        with pytest.raises(MeasurementError):
+            stats.fraction_single_measurement_changes(np.array([]))
+
+
+class TestHistogram:
+    def test_unique_bins(self):
+        values = np.array([1.0, 2.0, 2.0, 4.0])
+        counts, edges = stats.histogram_unique_bins(values)
+        assert counts.sum() == 4
+        assert len(counts) == 3  # three unique values -> three bins
+
+    def test_constant_series(self):
+        counts, edges = stats.histogram_unique_bins(np.array([5.0, 5.0]))
+        assert list(counts) == [2]
+
+    def test_empty_raises(self):
+        with pytest.raises(MeasurementError):
+            stats.histogram_unique_bins(np.array([np.nan]))
+
+
+class TestChiSquare:
+    def test_normal_data_not_rejected(self):
+        rng = np.random.default_rng(0)
+        # Discrete (quantized) normal like a measured RDT series.
+        values = np.round(rng.normal(1000, 10, 5000))
+        _, p = stats.chi_square_normal_fit(values)
+        assert p > 0.05
+
+    def test_bimodal_data_rejected(self):
+        rng = np.random.default_rng(1)
+        values = np.round(
+            np.concatenate(
+                [rng.normal(900, 5, 2500), rng.normal(1100, 5, 2500)]
+            )
+        )
+        _, p = stats.chi_square_normal_fit(values)
+        assert p < 0.01
+
+    def test_constant_rejected(self):
+        with pytest.raises(MeasurementError):
+            stats.chi_square_normal_fit(np.full(100, 7.0))
+
+    def test_too_small_sample(self):
+        with pytest.raises(MeasurementError):
+            stats.chi_square_normal_fit(np.array([1.0, 2.0, 3.0]))
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        rng = np.random.default_rng(2)
+        acf = stats.autocorrelation(rng.normal(0, 1, 1000), max_lag=10)
+        assert acf[0] == 1.0
+
+    def test_white_noise_within_bounds(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(0, 1, 10_000)
+        assert stats.acf_indistinguishable_from_noise(values, max_lag=50)
+
+    def test_periodic_signal_detected(self):
+        t = np.arange(2000)
+        values = np.sin(2 * np.pi * t / 20)
+        assert not stats.acf_indistinguishable_from_noise(values, max_lag=50)
+
+    def test_ar1_detected(self):
+        rng = np.random.default_rng(4)
+        values = np.zeros(5000)
+        for i in range(1, 5000):
+            values[i] = 0.9 * values[i - 1] + rng.normal()
+        assert not stats.acf_indistinguishable_from_noise(values, max_lag=50)
+
+    def test_bounds_and_errors(self):
+        assert stats.white_noise_acf_bound(10_000) == pytest.approx(0.0196, abs=1e-3)
+        with pytest.raises(MeasurementError):
+            stats.autocorrelation(np.array([1.0]), max_lag=1)
+        with pytest.raises(MeasurementError):
+            stats.autocorrelation(np.full(100, 3.0), max_lag=5)
+
+
+class TestBoxStats:
+    def test_quartiles(self):
+        box = stats.box_stats(np.arange(1, 101, dtype=float))
+        assert box.minimum == 1 and box.maximum == 100
+        assert box.median == pytest.approx(50.5)
+        assert box.iqr == pytest.approx(49.5)
+
+    def test_cv(self):
+        values = np.array([90.0, 100.0, 110.0])
+        expected = values.std() / values.mean()
+        assert stats.coefficient_of_variation(values) == pytest.approx(expected)
+
+    def test_empty_raises(self):
+        with pytest.raises(MeasurementError):
+            stats.box_stats(np.array([]))

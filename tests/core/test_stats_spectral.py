@@ -1,0 +1,69 @@
+"""Tests for the spectral/portmanteau unpredictability statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core import stats
+from repro.errors import MeasurementError
+
+
+class TestLjungBox:
+    def test_white_noise_not_rejected(self):
+        rng = np.random.default_rng(0)
+        _, p = stats.ljung_box_test(rng.normal(0, 1, 5000), lags=20)
+        assert p > 0.01
+
+    def test_ar1_rejected(self):
+        rng = np.random.default_rng(1)
+        values = np.zeros(3000)
+        for i in range(1, 3000):
+            values[i] = 0.6 * values[i - 1] + rng.normal()
+        _, p = stats.ljung_box_test(values, lags=20)
+        assert p < 1e-6
+
+    def test_measured_vrd_series_passes(self, module, reference_config):
+        from repro.core.rdt import FastRdtMeter
+
+        series = FastRdtMeter(module).measure_series(
+            150, reference_config, 3000
+        )
+        _, p = stats.ljung_box_test(series.valid, lags=20)
+        assert p > 0.001  # unpredictable, like the paper's Finding 4
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            stats.ljung_box_test(np.arange(5.0), lags=10)
+        with pytest.raises(MeasurementError):
+            stats.ljung_box_test(np.arange(100.0), lags=0)
+
+
+class TestPeriodogram:
+    def test_flat_for_noise_peaked_for_sine(self):
+        rng = np.random.default_rng(2)
+        noise_flatness = stats.spectral_flatness(rng.normal(0, 1, 4096))
+        t = np.arange(4096)
+        sine = np.sin(2 * np.pi * t / 32) + 0.01 * rng.normal(0, 1, 4096)
+        sine_flatness = stats.spectral_flatness(sine)
+        assert noise_flatness > 0.3
+        assert sine_flatness < noise_flatness / 3
+
+    def test_periodogram_peak_location(self):
+        t = np.arange(1024)
+        values = np.sin(2 * np.pi * t / 16)
+        freqs, power = stats.periodogram(values)
+        assert freqs[np.argmax(power)] == pytest.approx(1 / 16, abs=1e-3)
+
+    def test_vrd_series_is_spectrally_flat(self, module, reference_config):
+        from repro.core.rdt import FastRdtMeter
+
+        series = FastRdtMeter(module).measure_series(
+            150, reference_config, 4096
+        )
+        rng = np.random.default_rng(3)
+        reference = stats.spectral_flatness(rng.normal(0, 1, 4096))
+        measured = stats.spectral_flatness(series.valid)
+        assert measured > reference * 0.6
+
+    def test_too_short(self):
+        with pytest.raises(MeasurementError):
+            stats.periodogram(np.arange(4.0))

@@ -1,0 +1,83 @@
+"""Tests for JSON persistence of series and campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import Campaign
+from repro.core.config import TestConfig, standard_configs
+from repro.core.patterns import ALL_PATTERNS, CHECKERED0
+from repro.core.series import RdtSeries
+from repro.core import store
+from repro.errors import MeasurementError
+
+
+def make_campaign(module):
+    configs = list(
+        standard_configs(
+            module.timing,
+            patterns=ALL_PATTERNS[:2],
+            temperatures=(50.0,),
+            t_agg_on_values=(module.timing.tRAS,),
+        )
+    )
+    return Campaign(module, configs, n_measurements=100).run([10, 20])
+
+
+def test_series_roundtrip_with_nans():
+    series = RdtSeries(
+        np.array([100.0, np.nan, 120.0]),
+        module_id="T", bank=1, row=7, config_label="x", grid_step=2.0,
+    )
+    restored = store.series_from_dict(store.series_to_dict(series))
+    assert np.array_equal(restored.values, series.values, equal_nan=True)
+    assert restored.module_id == "T"
+    assert restored.row == 7
+    assert restored.grid_step == 2.0
+
+
+def test_config_roundtrip():
+    config = TestConfig(
+        CHECKERED0, t_agg_on_ns=7800.0, temperature_c=65.0,
+        wordline_voltage_v=2.2,
+    )
+    restored = store.config_from_dict(store.config_to_dict(config))
+    assert restored == config
+
+
+def test_config_voltage_defaults_when_absent():
+    payload = {
+        "pattern": "checkered0", "t_agg_on_ns": 35.0, "temperature_c": 50.0,
+    }
+    assert store.config_from_dict(payload).wordline_voltage_v == 2.5
+
+
+def test_campaign_roundtrip_preserves_metrics(module, tmp_path):
+    result = make_campaign(module)
+    path = tmp_path / "campaign.json"
+    store.save_campaign(result, path)
+    restored = store.load_campaign(path)
+    assert restored.module_id == result.module_id
+    assert len(restored) == len(result)
+    assert restored.max_cv_per_row() == result.max_cv_per_row()
+    original = result.expected_normalized_min_distribution(1)
+    roundtripped = restored.expected_normalized_min_distribution(1)
+    assert np.allclose(original, roundtripped)
+
+
+def test_version_check(module, tmp_path):
+    result = make_campaign(module)
+    payload = store.campaign_to_dict(result)
+    payload["format_version"] = 999
+    with pytest.raises(MeasurementError):
+        store.campaign_from_dict(payload)
+
+
+def test_malformed_inputs(tmp_path):
+    with pytest.raises(MeasurementError):
+        store.series_from_dict({"values": "nope"})
+    with pytest.raises(MeasurementError):
+        store.config_from_dict({"pattern": "checkered0"})
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(MeasurementError):
+        store.load_campaign(bad)

@@ -1,0 +1,71 @@
+"""Tests for true-/anti-cell layouts."""
+
+import numpy as np
+import pytest
+
+from repro.dram.cells import (
+    CellLayout,
+    CellLayoutKind,
+    bits_to_bytes,
+    bytes_to_bits,
+)
+from repro.errors import ConfigurationError
+
+
+def test_all_true_rows():
+    layout = CellLayout(CellLayoutKind.ALL_TRUE)
+    assert layout.row_is_true_cell(0)
+    assert layout.row_is_true_cell(12345)
+    assert layout.flip_direction(3) == "1->0"
+
+
+def test_row_blocks_alternate():
+    layout = CellLayout(CellLayoutKind.ROW_BLOCKS, block_rows=512)
+    assert layout.row_is_true_cell(0)
+    assert not layout.row_is_true_cell(512)
+    assert layout.row_is_true_cell(1024)
+    assert layout.flip_direction(512) == "0->1"
+
+
+def test_alternate_rows():
+    layout = CellLayout(CellLayoutKind.ALTERNATE_ROWS)
+    assert layout.row_is_true_cell(0)
+    assert not layout.row_is_true_cell(1)
+
+
+def test_mixed_has_no_row_polarity():
+    layout = CellLayout(CellLayoutKind.MIXED)
+    assert not layout.row_uniform
+    with pytest.raises(ConfigurationError):
+        layout.row_is_true_cell(0)
+    # but per-bit polarity is defined and alternates byte-wise
+    assert layout.bit_is_true_cell(0, 0) != layout.bit_is_true_cell(0, 8)
+    assert layout.bit_is_true_cell(0, 0) != layout.bit_is_true_cell(1, 0)
+
+
+def test_charged_mask_true_cells():
+    layout = CellLayout(CellLayoutKind.ALL_TRUE)
+    bits = np.array([1, 0, 1, 1], dtype=np.uint8)
+    assert np.array_equal(layout.charged_mask(0, bits), bits.astype(bool))
+
+
+def test_charged_mask_anti_cells():
+    layout = CellLayout(CellLayoutKind.ALTERNATE_ROWS)
+    bits = np.array([1, 0], dtype=np.uint8)
+    # row 1 is anti-cell: charged when storing 0
+    assert np.array_equal(layout.charged_mask(1, bits), np.array([False, True]))
+
+
+def test_charged_mask_mixed():
+    layout = CellLayout(CellLayoutKind.MIXED)
+    bits = np.ones(16, dtype=np.uint8)
+    mask = layout.charged_mask(0, bits)
+    # First byte true cells (charged for 1s), second byte anti (uncharged).
+    assert mask[:8].all() and not mask[8:].any()
+
+
+def test_bit_packing_roundtrip():
+    data = np.arange(16, dtype=np.uint8)
+    assert np.array_equal(bits_to_bytes(bytes_to_bits(data)), data)
+    bits = bytes_to_bits(np.array([0b00000001], dtype=np.uint8))
+    assert bits[0] == 1 and bits[1:].sum() == 0  # LSB-first

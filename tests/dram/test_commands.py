@@ -1,0 +1,27 @@
+"""Tests for the DRAM command vocabulary."""
+
+import pytest
+
+from repro.dram.commands import Command, CommandKind
+
+
+def test_act_requires_row():
+    with pytest.raises(ValueError):
+        Command(CommandKind.ACT, issued_at=0.0, bank=0)
+
+
+def test_column_commands_require_bank():
+    with pytest.raises(ValueError):
+        Command(CommandKind.RD, issued_at=0.0)
+    Command(CommandKind.RD, issued_at=0.0, bank=1)
+
+
+def test_describe_contains_fields():
+    cmd = Command(CommandKind.ACT, issued_at=120.0, bank=3, row=0x1A2)
+    text = cmd.describe()
+    assert "ACT" in text and "b3" in text and "0x1a2" in text
+
+
+def test_rank_level_commands():
+    ref = Command(CommandKind.REF, issued_at=5.0)
+    assert ref.bank is None

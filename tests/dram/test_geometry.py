@@ -1,0 +1,54 @@
+"""Tests for DRAM geometry."""
+
+import pytest
+
+from repro.dram.geometry import DramGeometry
+from repro.errors import AddressError, ConfigurationError
+
+
+def test_defaults_are_consistent():
+    geom = DramGeometry()
+    assert geom.row_bits == geom.row_bits_per_chip * geom.n_chips
+    assert geom.row_bytes * 8 == geom.row_bits
+
+
+def test_columns_per_row_matches_appendix():
+    # 64 Kibit module rows (8 Kib per chip), 8 chips, 64-bit bursts ->
+    # the paper's 128 column commands per full-row access.
+    geom = DramGeometry(row_bits_per_chip=8_192, n_chips=8, burst_bits=64)
+    assert geom.row_bits == 65_536
+    assert geom.columns_per_row == 128
+
+
+def test_chip_of_bit_stripes_bytes():
+    geom = DramGeometry(n_chips=8, row_bits_per_chip=1024)
+    assert geom.chip_of_bit(0) == 0
+    assert geom.chip_of_bit(7) == 0
+    assert geom.chip_of_bit(8) == 1
+    assert geom.chip_of_bit(8 * 8) == 0  # wraps after all chips
+
+
+def test_chip_of_bit_out_of_range():
+    geom = DramGeometry(n_chips=2, row_bits_per_chip=64)
+    with pytest.raises(ConfigurationError):
+        geom.chip_of_bit(geom.row_bits)
+
+
+def test_validate_address():
+    geom = DramGeometry(n_banks=4, n_rows=16)
+    geom.validate_address(3, 15)
+    with pytest.raises(AddressError):
+        geom.validate_address(4, 0)
+    with pytest.raises(AddressError):
+        geom.validate_address(0, 16)
+
+
+@pytest.mark.parametrize("field", ["n_banks", "n_rows", "n_chips"])
+def test_rejects_non_positive(field):
+    with pytest.raises(ConfigurationError):
+        DramGeometry(**{field: 0})
+
+
+def test_rejects_non_byte_rows():
+    with pytest.raises(ConfigurationError):
+        DramGeometry(row_bits_per_chip=1001)

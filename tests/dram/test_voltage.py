@@ -1,0 +1,62 @@
+"""Tests for the wordline-voltage condition axis (Sec. 6.5 extension)."""
+
+import pytest
+
+from repro.core.config import TestConfig
+from repro.core.patterns import CHECKERED0
+from repro.core.rdt import FastRdtMeter
+from repro.dram.faults import Condition
+from repro.errors import ConfigurationError
+
+
+def test_condition_voltage_canonicalization():
+    condition = Condition("checkered0", 35.0, 50.0, wordline_voltage=2.3456)
+    assert condition.canonical().wordline_voltage == 2.35
+
+
+def test_condition_voltage_bounds():
+    with pytest.raises(ConfigurationError):
+        Condition("checkered0", 35.0, 50.0, wordline_voltage=0.5)
+    with pytest.raises(ConfigurationError):
+        Condition("checkered0", 35.0, 50.0, wordline_voltage=5.0)
+
+
+def test_nominal_voltage_is_default(module):
+    config = TestConfig(CHECKERED0, t_agg_on_ns=35.0)
+    assert config.condition(module.timing).wordline_voltage == 2.5
+    assert "V" not in config.label()
+
+
+def test_undervolting_raises_rdt(module):
+    """Reduced wordline voltage weakens read disturbance: the measured RDT
+    rises (prior work on RowHammer under reduced wordline voltage)."""
+    meter = FastRdtMeter(module)
+    nominal = TestConfig(CHECKERED0, t_agg_on_ns=35.0)
+    undervolted = TestConfig(
+        CHECKERED0, t_agg_on_ns=35.0, wordline_voltage_v=2.1
+    )
+    mean_nominal = meter.measure_series(100, nominal, 300).mean
+    mean_under = meter.measure_series(100, undervolted, 300).mean
+    assert mean_under > mean_nominal * 1.1
+
+
+def test_voltage_label(module):
+    config = TestConfig(
+        CHECKERED0, t_agg_on_ns=35.0, wordline_voltage_v=2.2
+    )
+    assert config.label().endswith("/2.2V")
+
+
+def test_voltage_changes_vrd_profile(module):
+    """Voltage is a full condition axis: it alters the series, not just
+    its mean (another parameter a comprehensive profile must cover)."""
+    meter = FastRdtMeter(module)
+    nominal = meter.measure_series(
+        100, TestConfig(CHECKERED0, t_agg_on_ns=35.0), 400
+    )
+    under = meter.measure_series(
+        100,
+        TestConfig(CHECKERED0, t_agg_on_ns=35.0, wordline_voltage_v=2.2),
+        400,
+    )
+    assert nominal.cv != under.cv

@@ -1,0 +1,66 @@
+"""Tests for the variable-retention-time (VRT) analogy model."""
+
+import numpy as np
+import pytest
+
+from repro.dram.retention import RetentionModel
+from repro.errors import ConfigurationError
+from repro.units import ms
+
+
+def make_model():
+    return RetentionModel(
+        row_bits=8192, t_refw_ns=ms(64.0), seed=1, module_id="T"
+    )
+
+
+def test_vrt_cell_two_states():
+    cell = make_model().vrt_cell(0, 5)
+    assert cell.low_retention_ns < cell.high_retention_ns
+    series = cell.retention_series(20_000)
+    assert series.min() < cell.high_retention_ns * 0.6
+    assert series.max() > cell.low_retention_ns * 1.5
+
+
+def test_vrt_series_reproducible():
+    a = make_model().vrt_cell(0, 5).retention_series(500)
+    b = make_model().vrt_cell(0, 5).retention_series(500)
+    assert np.array_equal(a, b)
+
+
+def test_vrt_low_state_is_rare():
+    cell = make_model().vrt_cell(0, 5)
+    series = cell.retention_series(50_000)
+    threshold = (cell.low_retention_ns + cell.high_retention_ns) / 2
+    low_fraction = float((series < threshold).mean())
+    assert low_fraction == pytest.approx(
+        cell.trap.stationary_occupancy, abs=0.05
+    )
+
+
+def test_vrt_cell_bit_is_a_weak_cell():
+    model = make_model()
+    cell = model.vrt_cell(0, 5, cell_index=1)
+    _, cells = model._row(0, 5)
+    assert cell.bit in cells.tolist()
+
+
+def test_vrt_validation():
+    model = make_model()
+    with pytest.raises(ConfigurationError):
+        model.vrt_cell(0, 5, cell_index=99)
+    with pytest.raises(ConfigurationError):
+        model.vrt_cell(0, 5).retention_series(-1)
+
+
+def test_vrt_vrd_analogy_run_structure():
+    """Both phenomena are random-telegraph processes: VRT cells and VRD
+    rows show the same run-length structure (mostly short runs with a
+    geometric tail)."""
+    from repro.core import stats
+
+    cell = make_model().vrt_cell(0, 5)
+    series = cell.retention_series(20_000)
+    lengths = stats.run_lengths(np.where(series < series.mean(), 0.0, 1.0))
+    assert lengths.max() > 10  # dwell in the common state
+    assert (lengths == 1).sum() > 0  # brief excursions exist

@@ -1,0 +1,89 @@
+"""Tests for the Chipkill-like single-symbol-correcting code."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc.base import DecodeOutcome
+from repro.ecc.chipkill import ChipkillSsc
+
+
+@pytest.fixture(scope="module")
+def code():
+    return ChipkillSsc()
+
+
+def test_dimensions(code):
+    # 18 symbols of 8 bits = 144-bit codeword, 16 data symbols (Table 3).
+    assert code.n_bits == 144
+    assert code.k_bits == 128
+    assert code.n_symbols == 18
+
+
+def test_clean_roundtrip(code):
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        data = rng.integers(0, 2, 128, dtype=np.uint8)
+        assert code.roundtrip_clean(data)
+
+
+def test_any_error_within_one_symbol_corrected(code):
+    rng = np.random.default_rng(1)
+    data = rng.integers(0, 2, 128, dtype=np.uint8)
+    codeword = code.encode(data)
+    for symbol in range(code.n_symbols):
+        for pattern in (0x01, 0x81, 0xFF, 0x5A):
+            corrupted = codeword.copy()
+            for bit in range(8):
+                if pattern & (1 << bit):
+                    corrupted[symbol * 8 + bit] ^= 1
+            result = code.decode(corrupted)
+            assert result.outcome is DecodeOutcome.CORRECTED
+            assert np.array_equal(result.data, data), (symbol, pattern)
+
+
+def test_two_symbol_errors_not_silently_wrong_often(code):
+    """Two-symbol errors exceed the correction power; the decoder either
+    detects them or (rarely) miscorrects — it must never return CLEAN."""
+    rng = np.random.default_rng(2)
+    data = rng.integers(0, 2, 128, dtype=np.uint8)
+    codeword = code.encode(data)
+    outcomes = {"detected": 0, "miscorrected": 0}
+    for _ in range(1000):
+        s1, s2 = rng.choice(code.n_symbols, size=2, replace=False)
+        corrupted = codeword.copy()
+        corrupted[s1 * 8 + int(rng.integers(8))] ^= 1
+        corrupted[s2 * 8 + int(rng.integers(8))] ^= 1
+        result = code.decode(corrupted)
+        assert result.outcome is not DecodeOutcome.CLEAN
+        if result.outcome is DecodeOutcome.DETECTED:
+            outcomes["detected"] += 1
+        elif not np.array_equal(result.data, data):
+            outcomes["miscorrected"] += 1
+    assert outcomes["detected"] > 0
+
+
+def test_symbol_of_bit(code):
+    assert code.symbol_of_bit(0) == 0
+    assert code.symbol_of_bit(7) == 0
+    assert code.symbol_of_bit(8) == 1
+    assert code.symbol_of_bit(143) == 17
+
+
+@given(
+    data=st.lists(st.integers(0, 1), min_size=128, max_size=128),
+    symbol=st.integers(0, 17),
+    pattern=st.integers(1, 255),
+)
+@settings(max_examples=60, deadline=None)
+def test_single_symbol_correction_property(data, symbol, pattern):
+    code = ChipkillSsc()
+    bits = np.array(data, dtype=np.uint8)
+    codeword = code.encode(bits)
+    corrupted = codeword.copy()
+    for bit in range(8):
+        if pattern & (1 << bit):
+            corrupted[symbol * 8 + bit] ^= 1
+    result = code.decode(corrupted)
+    assert result.outcome is DecodeOutcome.CORRECTED
+    assert np.array_equal(result.data, bits)

@@ -1,0 +1,56 @@
+"""Field-axiom tests for GF(256)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ecc.gf import FIELD
+from repro.errors import EccError
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+@given(a=elements, b=elements)
+def test_addition_is_xor_and_self_inverse(a, b):
+    assert FIELD.add(a, b) == a ^ b
+    assert FIELD.add(a, a) == 0
+
+
+@given(a=elements, b=elements, c=elements)
+def test_multiplication_associative_commutative(a, b, c):
+    assert FIELD.mul(a, b) == FIELD.mul(b, a)
+    assert FIELD.mul(FIELD.mul(a, b), c) == FIELD.mul(a, FIELD.mul(b, c))
+
+
+@given(a=elements, b=elements, c=elements)
+def test_distributive(a, b, c):
+    left = FIELD.mul(a, FIELD.add(b, c))
+    right = FIELD.add(FIELD.mul(a, b), FIELD.mul(a, c))
+    assert left == right
+
+
+@given(a=nonzero)
+def test_inverse(a):
+    assert FIELD.mul(a, FIELD.inv(a)) == 1
+
+
+@given(a=elements, b=nonzero)
+def test_division(a, b):
+    assert FIELD.mul(FIELD.div(a, b), b) == a
+
+
+def test_zero_division_rejected():
+    with pytest.raises(EccError):
+        FIELD.inv(0)
+    with pytest.raises(EccError):
+        FIELD.div(1, 0)
+    with pytest.raises(EccError):
+        FIELD.log_alpha(0)
+
+
+def test_alpha_powers():
+    assert FIELD.pow_alpha(0) == 1
+    assert FIELD.pow_alpha(1) == 2
+    assert FIELD.pow_alpha(255) == 1  # alpha has order 255
+    for power in range(0, 255, 17):
+        assert FIELD.log_alpha(FIELD.pow_alpha(power)) == power

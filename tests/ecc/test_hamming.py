@@ -1,0 +1,108 @@
+"""Tests for the SEC and Hsiao SECDED (72, 64) codes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc.base import DecodeOutcome
+from repro.ecc.hamming import Sec72, Secded72
+from repro.errors import EccError
+
+CODES = [Sec72(), Secded72()]
+
+
+def random_data(rng):
+    return rng.integers(0, 2, 64, dtype=np.uint8)
+
+
+@pytest.mark.parametrize("code", CODES, ids=lambda c: type(c).__name__)
+def test_clean_roundtrip(code):
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        assert code.roundtrip_clean(random_data(rng))
+
+
+@pytest.mark.parametrize("code", CODES, ids=lambda c: type(c).__name__)
+def test_every_single_bit_error_corrected(code):
+    rng = np.random.default_rng(1)
+    data = random_data(rng)
+    codeword = code.encode(data)
+    for position in range(code.n_bits):
+        corrupted = codeword.copy()
+        corrupted[position] ^= 1
+        result = code.decode(corrupted)
+        assert result.outcome is DecodeOutcome.CORRECTED
+        assert np.array_equal(result.data, data), position
+
+
+def test_secded_detects_all_double_errors():
+    code = Secded72()
+    rng = np.random.default_rng(2)
+    data = random_data(rng)
+    codeword = code.encode(data)
+    for _ in range(2000):
+        i, j = rng.choice(72, size=2, replace=False)
+        corrupted = codeword.copy()
+        corrupted[i] ^= 1
+        corrupted[j] ^= 1
+        assert code.decode(corrupted).outcome is DecodeOutcome.DETECTED
+
+
+def test_sec_double_errors_can_miscorrect():
+    """The plain SEC code silently corrupts on some double errors — the
+    weakness quantified by Table 3's SEC row."""
+    code = Sec72()
+    rng = np.random.default_rng(3)
+    data = random_data(rng)
+    codeword = code.encode(data)
+    silent = 0
+    for _ in range(2000):
+        i, j = rng.choice(72, size=2, replace=False)
+        corrupted = codeword.copy()
+        corrupted[i] ^= 1
+        corrupted[j] ^= 1
+        result = code.decode(corrupted)
+        if result.outcome is not DecodeOutcome.DETECTED and not np.array_equal(
+            result.data, data
+        ):
+            silent += 1
+    assert silent > 0
+
+
+def test_secded_triple_errors_mostly_alias():
+    """Triple errors regain odd syndrome weight; many miscorrect, which is
+    the SECDED 'undetectable' channel in Table 3."""
+    code = Secded72()
+    rng = np.random.default_rng(4)
+    data = random_data(rng)
+    codeword = code.encode(data)
+    wrong_but_confident = 0
+    for _ in range(2000):
+        positions = rng.choice(72, size=3, replace=False)
+        corrupted = codeword.copy()
+        for p in positions:
+            corrupted[p] ^= 1
+        result = code.decode(corrupted)
+        if result.outcome is DecodeOutcome.CORRECTED and not np.array_equal(
+            result.data, data
+        ):
+            wrong_but_confident += 1
+    assert wrong_but_confident > 0
+
+
+@pytest.mark.parametrize("code", CODES, ids=lambda c: type(c).__name__)
+def test_shape_validation(code):
+    with pytest.raises(EccError):
+        code.encode(np.zeros(10, dtype=np.uint8))
+    with pytest.raises(EccError):
+        code.decode(np.zeros(10, dtype=np.uint8))
+
+
+@given(data=st.lists(st.integers(0, 1), min_size=64, max_size=64))
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_property(data):
+    code = Secded72()
+    bits = np.array(data, dtype=np.uint8)
+    result = code.decode(code.encode(bits))
+    assert result.outcome is DecodeOutcome.CLEAN
+    assert np.array_equal(result.data, bits)

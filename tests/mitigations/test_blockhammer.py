@@ -1,0 +1,75 @@
+"""Tests for the BlockHammer-style throttling mitigation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsim import MemorySystem, SystemConfig, standard_mixes
+from repro.memsim.metrics import normalized_weighted_speedup
+from repro.mitigations import BlockHammer, build_mitigation
+from repro.mitigations.blockhammer import THROTTLE_DELAY_NS
+
+
+def test_within_quota_untouched():
+    bh = BlockHammer(1000)
+    actions = [bh.on_activate(0, 7, float(i)) for i in range(bh.quota)]
+    assert all(a.is_noop for a in actions)
+    assert bh.throttled_activations == 0
+
+
+def test_over_quota_throttled_on_own_bank():
+    bh = BlockHammer(100)
+    for i in range(bh.quota + 10):
+        action = bh.on_activate(3, 7, float(i))
+    assert not action.is_noop
+    assert action.bank_delays == [(3, THROTTLE_DELAY_NS)]
+    assert not action.victim_refreshes
+    assert action.rank_block_ns == 0.0
+    assert bh.throttled_activations == 10
+
+
+def test_count_min_never_underestimates():
+    """The filter may overestimate (hash collisions) but a row activated k
+    times always has estimate >= k."""
+    bh = BlockHammer(10_000, filter_size=64)
+    for i in range(200):
+        bh.on_activate(0, i % 7, float(i))
+    for row in range(7):
+        exact = len([i for i in range(200) if i % 7 == row])
+        assert bh._estimate(0, row) >= exact
+
+
+def test_window_reset_clears_filters():
+    bh = BlockHammer(100)
+    for i in range(bh.quota + 5):
+        bh.on_activate(0, 7, float(i))
+    bh.on_refresh_window(0.0)
+    assert bh.on_activate(0, 7, 1.0).is_noop
+
+
+def test_banks_tracked_independently():
+    bh = BlockHammer(100)
+    for i in range(bh.quota):
+        bh.on_activate(0, 7, float(i))
+    assert bh.on_activate(1, 7, 0.0).is_noop
+
+
+def test_build_by_name():
+    assert isinstance(build_mitigation("blockhammer", 512), BlockHammer)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        BlockHammer(100, filter_size=0)
+    with pytest.raises(ConfigurationError):
+        BlockHammer(100, quota_fraction=0.0)
+    with pytest.raises(ConfigurationError):
+        BlockHammer(100, n_hashes=0)
+
+
+def test_throttling_slows_hot_workloads():
+    mix = standard_mixes(1)[0]
+    config = SystemConfig(window_ns=40_000.0)
+    baseline = MemorySystem(mix, config).run()
+    throttled = MemorySystem(mix, config, BlockHammer(64)).run()
+    speedup = normalized_weighted_speedup(throttled, baseline)
+    assert speedup < 1.0

@@ -1,0 +1,126 @@
+"""Tests for the attack-vs-mitigation security evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TestConfig
+from repro.core.patterns import CHECKERED0
+from repro.errors import ConfigurationError
+from repro.security import attack_escape, exposure_per_window, profile_and_attack
+from tests.conftest import make_module
+
+
+class TestExposure:
+    def test_graphene_bound_is_half_threshold(self):
+        rng = np.random.default_rng(0)
+        assert exposure_per_window("graphene", 1000, rng) == 500.0
+
+    def test_prac_bound_is_quantized(self):
+        rng = np.random.default_rng(0)
+        # 0.8 * 1000 = 800 -> nearest power of two is 1024: PRAC's pow2
+        # compare can exceed the configured threshold.
+        assert exposure_per_window("prac", 1000, rng) == 1024.0
+
+    def test_para_exposure_is_random_and_bounded_in_distribution(self):
+        rng = np.random.default_rng(0)
+        samples = [exposure_per_window("para", 1000, rng) for _ in range(2000)]
+        # Mean ~ 1 / (2p) with p ~ 23/T.
+        expected_mean = 1000.0 / (2 * 23.03)
+        assert np.mean(samples) == pytest.approx(expected_mean, rel=0.2)
+
+    def test_none_is_unbounded(self):
+        rng = np.random.default_rng(0)
+        assert exposure_per_window("none", 1.0, rng) == 1e7
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            exposure_per_window("blockhammer", 1000, np.random.default_rng(0))
+
+
+class TestAttack:
+    def test_no_mitigation_flips_immediately(self, module, reference_config):
+        outcome = attack_escape(
+            module, 100, reference_config, "none", threshold=1.0, windows=10
+        )
+        assert outcome.flipped
+        assert outcome.first_flip_window == 0
+
+    def test_generous_threshold_survives(self, module, reference_config):
+        # Threshold far below any instantaneous RDT: deterministic
+        # trackers never expose the victim enough.
+        outcome = attack_escape(
+            module, 100, reference_config, "graphene", threshold=50.0,
+            windows=500,
+        )
+        assert outcome.survived
+        assert outcome.min_exposure_margin > 0
+
+    def test_overconfigured_tracker_fails(self, module, reference_config):
+        # Threshold far above the row's RDT: the first window flips.
+        outcome = attack_escape(
+            module, 100, reference_config, "graphene", threshold=1e6,
+            windows=50,
+        )
+        assert outcome.flipped
+
+    def test_outcome_reports_min_rdt(self, module, reference_config):
+        outcome = attack_escape(
+            module, 100, reference_config, "graphene", threshold=50.0,
+            windows=200,
+        )
+        assert outcome.min_rdt_seen > 0
+        assert outcome.windows == 200
+
+    def test_deterministic_given_seed(self, module, reference_config):
+        a = attack_escape(
+            module, 101, reference_config, "para", threshold=500.0,
+            windows=100, seed=9,
+        )
+        module2 = make_module()
+        module2.disable_interference_sources()
+        b = attack_escape(
+            module2, 101, reference_config, "para", threshold=500.0,
+            windows=100, seed=9,
+        )
+        assert a.flipped == b.flipped
+        assert a.min_rdt_seen == b.min_rdt_seen
+
+    def test_validation(self, module, reference_config):
+        with pytest.raises(ConfigurationError):
+            attack_escape(
+                module, 100, reference_config, "graphene", threshold=100.0,
+                windows=0,
+            )
+
+
+class TestProfileAndAttack:
+    def test_margin_protects_prac(self, module, reference_config):
+        """PRAC's power-of-two rounding makes a no-margin configuration
+        risky; a >=10% guardband restores the headroom (the paper's
+        recommendation)."""
+        flips_tight = 0
+        flips_margin = 0
+        for victim in range(40, 52):
+            tight = profile_and_attack(
+                module, victim, reference_config, "prac",
+                profile_measurements=5, margin=0.0, windows=400, seed=victim,
+            )
+            guarded = profile_and_attack(
+                module, victim, reference_config, "prac",
+                profile_measurements=5, margin=0.25, windows=400, seed=victim,
+            )
+            flips_tight += tight.flipped
+            flips_margin += guarded.flipped
+        assert flips_margin <= flips_tight
+
+    def test_validation(self, module, reference_config):
+        with pytest.raises(ConfigurationError):
+            profile_and_attack(
+                module, 100, reference_config, "prac",
+                profile_measurements=0, margin=0.1,
+            )
+        with pytest.raises(ConfigurationError):
+            profile_and_attack(
+                module, 100, reference_config, "prac",
+                profile_measurements=5, margin=1.0,
+            )

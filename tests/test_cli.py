@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_devices(capsys):
+    assert main(["devices"]) == 0
+    out = capsys.readouterr().out
+    assert "M1" in out and "Chip0" in out
+    assert "Table 1" in out
+
+
+def test_measure(capsys):
+    assert main(["measure", "M1", "--row", "64", "-n", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "min appears" in out
+    assert "max/min ratio" in out
+
+
+def test_measure_with_voltage(capsys):
+    assert main([
+        "measure", "M1", "--row", "64", "-n", "100", "--voltage", "2.2",
+    ]) == 0
+    assert "2.2V" in capsys.readouterr().out
+
+
+def test_profile(capsys):
+    assert main(["profile", "H2", "--rows-per-block", "1", "-n", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "VRD profile" in out
+    assert "median P(find min)" in out
+
+
+def test_profile_saves_campaign(capsys, tmp_path):
+    from repro.core.store import load_campaign
+
+    path = tmp_path / "h2.json"
+    assert main([
+        "profile", "H2", "--rows-per-block", "1", "-n", "100",
+        "--output", str(path),
+    ]) == 0
+    assert "saved" in capsys.readouterr().out
+    restored = load_campaign(path)
+    assert restored.module_id == "H2"
+    assert len(restored) > 0
+
+
+def test_analyze_saved_campaign(capsys, tmp_path):
+    path = tmp_path / "h2.json"
+    assert main([
+        "profile", "H2", "--rows-per-block", "1", "-n", "100",
+        "--output", str(path),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["analyze", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "minimum-RDT identification" in out
+    assert "CV S-curve" in out
+
+
+def test_verify(capsys):
+    assert main(["verify"]) == 0
+    out = capsys.readouterr().out
+    assert "5/5 checks passed" in out
+
+
+def test_table3_default_and_custom(capsys):
+    assert main(["table3"]) == 0
+    out = capsys.readouterr().out
+    assert "7.63e-05" in out  # the paper's 5 / 65536 BER
+    assert main(["table3", "--ber", "1e-3"]) == 0
+    assert "1.00e-03" in capsys.readouterr().out
+
+
+def test_testtime(capsys):
+    assert main(["testtime"]) == 0
+    out = capsys.readouterr().out
+    assert "rowhammer_100k" in out
+
+
+def test_attack_exit_codes(capsys):
+    # Graphene with margin: survives => exit 0.
+    assert main([
+        "attack", "M1", "--kind", "graphene", "--row", "80",
+        "--profile-n", "5", "--margin", "0.1", "--windows", "200",
+    ]) == 0
+    assert "survived" in capsys.readouterr().out
+    # No mitigation: flips => exit 1.
+    assert main([
+        "attack", "M1", "--kind", "none", "--row", "80", "--windows", "5",
+    ]) == 1
+    assert "FLIPPED" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

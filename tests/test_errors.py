@@ -1,0 +1,25 @@
+"""The exception hierarchy is catchable at the root."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.ConfigurationError,
+        errors.AddressError,
+        errors.TimingViolationError,
+        errors.CommandSequenceError,
+        errors.ProgramError,
+        errors.MeasurementError,
+        errors.EccError,
+        errors.CatalogError,
+        errors.SimulationError,
+    ],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    with pytest.raises(errors.ReproError):
+        raise exc("boom")
