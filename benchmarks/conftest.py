@@ -10,6 +10,13 @@ and can be widened with environment variables:
 * ``VRD_BENCH_ROWS`` — rows per block in campaigns (paper: 50; default 5);
 * ``VRD_BENCH_MIXES`` — four-core workload mixes for Fig. 14 (paper: 15;
   default 5).
+
+Campaigns additionally go through the on-disk result cache
+(:class:`repro.core.engine.CampaignCache`): re-running a benchmark session
+with unchanged knobs reloads each campaign from ``$VRD_CACHE_DIR`` (default
+``.vrd-cache/``) instead of recomputing it. Set ``VRD_CACHE_DIR=`` (empty)
+to disable. ``VRD_JOBS`` routes campaign measurement through the parallel
+engine; results are bit-identical either way.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ import pytest
 from repro.analysis.figures import foundational_victim_series, module_campaign
 from repro.chips import spec
 from repro.core.config import STANDARD_TEMPERATURES, standard_t_agg_on_values
+from repro.core.engine import CampaignCache
 
 
 def _env_int(name: str, default: int) -> int:
@@ -32,6 +40,9 @@ N_MEASUREMENTS = _env_int("VRD_BENCH_MEASUREMENTS", 1000)
 N_FOUNDATIONAL = _env_int("VRD_BENCH_FOUNDATIONAL", 100_000)
 ROWS_PER_BLOCK = _env_int("VRD_BENCH_ROWS", 5)
 N_MIXES = _env_int("VRD_BENCH_MIXES", 5)
+
+#: Shared on-disk campaign cache (None when disabled via VRD_CACHE_DIR="").
+CAMPAIGN_CACHE = CampaignCache.resolve()
 
 #: Modules carried through the campaign-based figures (one per vendor plus
 #: density/revision contrast pairs and one HBM2 chip).
@@ -51,6 +62,7 @@ def reference_campaign(module_id: str):
         module_id,
         rows_per_block=ROWS_PER_BLOCK,
         n_measurements=N_MEASUREMENTS,
+        cache=CAMPAIGN_CACHE,
     )
 
 
@@ -63,6 +75,7 @@ def taggon_campaign(module_id: str):
         rows_per_block=ROWS_PER_BLOCK,
         n_measurements=N_MEASUREMENTS,
         t_agg_on_values=standard_t_agg_on_values(timing),
+        cache=CAMPAIGN_CACHE,
     )
 
 
@@ -74,6 +87,7 @@ def temperature_campaign(module_id: str):
         rows_per_block=ROWS_PER_BLOCK,
         n_measurements=N_MEASUREMENTS,
         temperatures=STANDARD_TEMPERATURES,
+        cache=CAMPAIGN_CACHE,
     )
 
 

@@ -1,0 +1,132 @@
+"""Engine perf baseline: batched probing, parallel execution, cache hits.
+
+Times three routes through one probe-dominated campaign (the paper's
+selection protocol probes 3 x 1024 rows, which dominates campaign cost at
+modest measurement counts):
+
+* **serial** — reference per-row probing (``batched=False``) plus the
+  serial :class:`~repro.core.campaign.Campaign` loop;
+* **engine** — batched probing plus :class:`~repro.core.engine.CampaignEngine`
+  at ``n_jobs`` workers (results asserted bit-identical to serial);
+* **cache hit** — the same campaign reloaded from the on-disk
+  :class:`~repro.core.engine.CampaignCache`.
+
+Serial and engine routes are timed as the best of
+``VRD_BENCH_ENGINE_REPS`` repetitions (default 2) to damp scheduler
+noise; both runs recompute from scratch (no cache involved).
+
+Results land in ``BENCH_engine.json`` at the repo root. Scale knobs:
+``VRD_BENCH_ENGINE_BLOCK`` (selection block rows, default 1024),
+``VRD_BENCH_ENGINE_MEASUREMENTS`` (series length, default 80),
+``VRD_JOBS`` (worker count, default 4),
+``VRD_BENCH_ENGINE_REPS`` (timing repetitions, default 2).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.figures import module_campaign
+from repro.chips import build_module
+from repro.core import CHECKERED0, TestConfig
+from repro.core.campaign import Campaign, select_vulnerable_rows
+from repro.core.engine import CampaignCache
+
+MODULE_ID = "M1"
+BLOCK_ROWS = int(os.environ.get("VRD_BENCH_ENGINE_BLOCK", 1024))
+ROWS_PER_BLOCK = 2
+N_MEASUREMENTS = int(os.environ.get("VRD_BENCH_ENGINE_MEASUREMENTS", 80))
+N_JOBS = int(os.environ.get("VRD_JOBS") or 4)
+REPS = int(os.environ.get("VRD_BENCH_ENGINE_REPS", 2))
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _assert_identical(left, right):
+    assert len(left) == len(right)
+    for a, b in zip(left.observations, right.observations):
+        assert (a.bank, a.row, a.config) == (b.bank, b.row, b.config)
+        np.testing.assert_array_equal(a.series.values, b.series.values)
+
+
+def _serial_route():
+    module = build_module(MODULE_ID)
+    module.disable_interference_sources()
+    config = TestConfig(CHECKERED0, t_agg_on_ns=module.timing.tRAS)
+    rows = select_vulnerable_rows(
+        module, config,
+        block_rows=BLOCK_ROWS, per_block=ROWS_PER_BLOCK, batched=False,
+    )
+    return Campaign(
+        module, [config], n_measurements=N_MEASUREMENTS
+    ).run(rows)
+
+
+def _engine_route():
+    return module_campaign(
+        MODULE_ID,
+        rows_per_block=ROWS_PER_BLOCK,
+        n_measurements=N_MEASUREMENTS,
+        patterns=(CHECKERED0,),
+        n_jobs=N_JOBS,
+        select_block_rows=BLOCK_ROWS,
+    )
+
+
+def _best_of(route):
+    best, result = None, None
+    for _ in range(max(1, REPS)):
+        t0 = time.perf_counter()
+        result = route()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def test_engine_speedup_and_cache_hit(tmp_path):
+    # -- serial reference: per-row probing + serial campaign loop --------
+    serial_s, serial = _best_of(_serial_route)
+
+    # -- engine: batched probing + sharded execution ---------------------
+    parallel_s, parallel = _best_of(_engine_route)
+    _assert_identical(serial, parallel)
+
+    # -- cache: cold store, then hot reload ------------------------------
+    cache = CampaignCache(tmp_path / "cache")
+    kwargs = dict(
+        rows_per_block=ROWS_PER_BLOCK,
+        n_measurements=N_MEASUREMENTS,
+        patterns=(CHECKERED0,),
+        n_jobs=N_JOBS,
+        select_block_rows=BLOCK_ROWS,
+        cache=cache,
+    )
+    module_campaign(MODULE_ID, **kwargs)
+    t0 = time.perf_counter()
+    cached = module_campaign(MODULE_ID, **kwargs)
+    cache_hit_s = time.perf_counter() - t0
+    _assert_identical(serial, cached)
+
+    record = {
+        "module": MODULE_ID,
+        "block_rows": BLOCK_ROWS,
+        "rows_per_block": ROWS_PER_BLOCK,
+        "n_measurements": N_MEASUREMENTS,
+        "n_jobs": N_JOBS,
+        "reps": REPS,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "cache_hit_s": round(cache_hit_s, 6),
+        "speedup": round(serial_s / parallel_s, 2),
+        "cache_hit_speedup": round(parallel_s / cache_hit_s, 1),
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nengine perf: {json.dumps(record)}")
+
+    assert record["speedup"] > 1.0
+    assert record["cache_hit_speedup"] >= 10.0

@@ -9,12 +9,14 @@ suite and the examples.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.chips import ModuleSpec, build_module, spec
 from repro.core import FastRdtMeter, RdtSeries, TestConfig
 from repro.core.campaign import Campaign, CampaignResult
 from repro.core.config import standard_configs
+from repro.core.engine import CampaignCache, CampaignEngine, resolve_jobs
 from repro.core.patterns import ALL_PATTERNS, CHECKERED0
 from repro.core.rdt import find_victim
 from repro.dram.module import DramModule
@@ -129,16 +131,25 @@ def module_campaign(
     temperatures: Sequence[float] = (50.0,),
     t_agg_on_values: Optional[Sequence[float]] = None,
     seed: int = DEFAULT_SEED,
+    n_jobs: Optional[int] = None,
+    cache: Union[CampaignCache, str, Path, None] = None,
+    select_block_rows: int = 256,
 ) -> CampaignResult:
     """Run a Sec. 5-style campaign on one catalog device.
 
     Defaults are scaled down from the paper's 150 rows x 36 configurations
     to keep benchmark runtimes reasonable; every axis is widenable.
+
+    ``n_jobs`` > 1 routes measurement through the parallel
+    :class:`~repro.core.engine.CampaignEngine` (``None`` resolves via
+    ``VRD_JOBS``, default serial); results are bit-identical either way.
+    ``cache`` (a :class:`~repro.core.engine.CampaignCache` or a directory
+    path) short-circuits the whole campaign — including row selection,
+    which dominates its cost — when an identical recipe was stored before.
     """
     device = spec(module_id)
     module = build_module(device, seed=seed)
     module.disable_interference_sources()
-    rows = select_test_rows(module, per_block=rows_per_block)
     configs = list(
         standard_configs(
             module.timing,
@@ -151,8 +162,42 @@ def module_campaign(
             ),
         )
     )
-    campaign = Campaign(module, configs, n_measurements=n_measurements)
-    return campaign.run(rows)
+    if isinstance(cache, (str, Path)):
+        cache = CampaignCache(cache)
+    cache_key = None
+    if cache is not None:
+        cache_key = cache.key(
+            seed=seed,
+            module_id=module_id,
+            configs=configs,
+            n_measurements=n_measurements,
+            extra={
+                "driver": "module_campaign",
+                "rows_per_block": rows_per_block,
+                "block_rows": select_block_rows,
+            },
+        )
+        cached = cache.load(cache_key)
+        if cached is not None:
+            return cached
+    rows = select_test_rows(
+        module, per_block=rows_per_block, block_rows=select_block_rows
+    )
+    jobs = resolve_jobs(n_jobs)
+    if jobs == 1:
+        campaign = Campaign(module, configs, n_measurements=n_measurements)
+        result = campaign.run(rows)
+    else:
+        result = CampaignEngine(
+            module_id,
+            configs,
+            n_measurements=n_measurements,
+            seed=seed,
+            n_jobs=jobs,
+        ).run(rows)
+    if cache is not None and cache_key is not None:
+        cache.store(cache_key, result)
+    return result
 
 
 def campaigns_for(

@@ -48,6 +48,21 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("module")
     profile.add_argument("--rows-per-block", type=int, default=3)
     profile.add_argument("-n", "--measurements", type=int, default=500)
+    profile.add_argument("--seed", type=int, default=None)
+    profile.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="worker processes (default: $VRD_JOBS, else 1); results are "
+             "bit-identical for any job count",
+    )
+    profile.add_argument(
+        "--cache-dir", default=None,
+        help="campaign cache directory (default: $VRD_CACHE_DIR, else "
+             ".vrd-cache/)",
+    )
+    profile.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute even if the campaign is cached",
+    )
     profile.add_argument(
         "-o", "--output", default=None,
         help="save the campaign result to this JSON file",
@@ -138,12 +153,18 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     from repro.analysis.figures import module_campaign
     from repro.analysis.tables import format_table
+    from repro.core.engine import CampaignCache
     from repro.core.montecarlo import STANDARD_N_VALUES
+    from repro.rng import DEFAULT_SEED
 
+    cache = None if args.no_cache else CampaignCache.resolve(args.cache_dir)
     result = module_campaign(
         args.module,
         rows_per_block=args.rows_per_block,
         n_measurements=args.measurements,
+        seed=args.seed if args.seed is not None else DEFAULT_SEED,
+        n_jobs=args.jobs,
+        cache=cache,
     )
     rows = []
     for n in STANDARD_N_VALUES:

@@ -32,6 +32,7 @@ from repro.core.montecarlo import (
 )
 from repro.core import stats
 from repro.core.campaign import Campaign, CampaignResult, RowObservation
+from repro.core.engine import CampaignCache, CampaignEngine, resolve_jobs
 from repro.core.guardband import (
     GuardbandProbability,
     MarginBitflipResult,
@@ -62,6 +63,9 @@ __all__ = [
     "Campaign",
     "CampaignResult",
     "RowObservation",
+    "CampaignCache",
+    "CampaignEngine",
+    "resolve_jobs",
     "GuardbandProbability",
     "MarginBitflipResult",
     "guardband_probability_analysis",

@@ -32,12 +32,20 @@ def select_vulnerable_rows(
     block_rows: int = 1024,
     per_block: int = 50,
     probe_repeats: int = 10,
+    batched: bool = True,
 ) -> List[int]:
     """The paper's row-selection protocol.
 
     Probes each row in the first, middle, and last ``block_rows`` rows of
     the bank ``probe_repeats`` times and returns the ``per_block`` rows with
     the smallest mean RDT from each block.
+
+    ``batched=True`` (the default) probes each block through
+    :meth:`~repro.core.rdt.FastRdtMeter.guess_rdt_batch`, which is
+    bit-identical to per-row probing but several times faster — selection
+    probes 3 x ``block_rows`` rows and dominates campaign wall-time.
+    ``batched=False`` keeps the reference per-row path (the engine's
+    benchmarks use it as the serial baseline).
     """
     n_rows = module.geometry.n_rows
     if block_rows > n_rows:
@@ -54,12 +62,17 @@ def select_vulnerable_rows(
     selected: List[int] = []
     seen = set()
     for block in blocks:
-        means = []
-        for row in block:
-            if row in seen:
-                continue
-            guess = meter.guess_rdt(row, config, repeats=probe_repeats)
-            means.append((guess, row))
+        probe_rows = [row for row in block if row not in seen]
+        if batched:
+            guesses = meter.guess_rdt_batch(
+                probe_rows, config, repeats=probe_repeats
+            )
+            means = [(float(guess), row) for guess, row in zip(guesses, probe_rows)]
+        else:
+            means = [
+                (meter.guess_rdt(row, config, repeats=probe_repeats), row)
+                for row in probe_rows
+            ]
         means.sort()
         for _, row in means[:per_block]:
             selected.append(row)
@@ -207,9 +220,10 @@ class CampaignResult:
         for obs in self.observations:
             if predicate is not None and not predicate(obs):
                 continue
-            if len(obs.series.require_valid()) < n:
+            valid = obs.series.require_valid()
+            if len(valid) < n:
                 continue
-            values.append(obs.expected_normalized_min(n))
+            values.append(expected_normalized_min(valid, n))
         return np.asarray(values)
 
     def probability_of_min_distribution(
@@ -221,9 +235,10 @@ class CampaignResult:
         for obs in self.observations:
             if predicate is not None and not predicate(obs):
                 continue
-            if len(obs.series.require_valid()) < n:
+            valid = obs.series.require_valid()
+            if len(valid) < n:
                 continue
-            values.append(obs.probability_of_min(n))
+            values.append(probability_of_min(valid, n))
         return np.asarray(values)
 
 

@@ -1,0 +1,350 @@
+"""Parallel campaign execution with an on-disk result cache.
+
+:class:`~repro.core.campaign.Campaign` runs the paper's Sec. 5 protocol as
+a nested serial loop. This module scales the same protocol out:
+
+* :class:`CampaignEngine` shards (bank, row) x configuration work units
+  across a ``ProcessPoolExecutor``. Workers rebuild the module from
+  ``(module_id, seed)`` — modules are cheap to construct and fully
+  determined by their seed — measure their shard, and return partial
+  :class:`~repro.core.campaign.CampaignResult` objects that are stitched
+  back together with the existing ``merge``.
+* :class:`CampaignCache` stores finished campaigns content-addressed under
+  a cache directory (``VRD_CACHE_DIR``, default ``.vrd-cache/``) via the
+  :mod:`repro.core.store` JSON format, so repeated benchmark/CLI sessions
+  reload instead of recomputing.
+
+**Determinism contract.** Every stochastic quantity in a campaign flows
+from per-(module, row, condition) streams derived via :func:`repro.rng`
+— no draw depends on measurement order. The engine therefore produces
+results bit-identical to the serial loop for any worker count and any
+shard order; after merging it reorders observations into the serial
+(configuration-major) order so even the observation list matches exactly.
+``tests/core/test_engine.py`` asserts this contract directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.campaign import CampaignResult, RowObservation
+from repro.core.config import TestConfig
+from repro.core.rdt import FastRdtMeter, HammerSweep
+from repro.core.store import (
+    config_to_dict,
+    load_campaign,
+    save_campaign,
+)
+from repro.errors import ConfigurationError, MeasurementError
+from repro.rng import DEFAULT_SEED
+
+#: Environment variable consulted when a job count is not given explicitly.
+JOBS_ENV_VAR = "VRD_JOBS"
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV_VAR = "VRD_CACHE_DIR"
+
+#: Default on-disk cache location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".vrd-cache"
+
+
+def resolve_jobs(n_jobs: Optional[int] = None) -> int:
+    """Worker count to use: explicit value, else ``VRD_JOBS``, else 1."""
+    if n_jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        try:
+            n_jobs = int(raw)
+        except ValueError as error:
+            raise ConfigurationError(
+                f"{JOBS_ENV_VAR} must be an integer, got {raw!r}"
+            ) from error
+    if n_jobs < 1:
+        raise ConfigurationError(f"job count must be >= 1, got {n_jobs}")
+    return n_jobs
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+#: Per-process module cache: workers serve every shard of a campaign (and
+#: campaigns over the same device) from one rebuilt module.
+_WORKER_MODULES: Dict[Tuple[str, int, bool], object] = {}
+
+
+def _worker_module(module_id: str, seed: int, disable_interference: bool):
+    from repro.chips import build_module
+
+    key = (module_id, seed, disable_interference)
+    module = _WORKER_MODULES.get(key)
+    if module is None:
+        module = build_module(module_id, seed=seed)
+        if disable_interference:
+            module.disable_interference_sources()
+        _WORKER_MODULES[key] = module
+    return module
+
+
+def _measure_units(args) -> Tuple[List[int], CampaignResult]:
+    """Measure one shard of work units; runs inside a worker process.
+
+    ``args`` is ``(module_id, seed, disable_interference, n_measurements,
+    units)`` with ``units`` a list of ``(unit_index, bank, row, config)``.
+    Returns the unit indices that produced observations (skipped
+    never-flipping sweeps are omitted, like the serial loop) alongside the
+    partial result, so the parent can restore serial ordering.
+    """
+    module_id, seed, disable_interference, n_measurements, units = args
+    module = _worker_module(module_id, seed, disable_interference)
+    meters: Dict[int, FastRdtMeter] = {}
+    indices: List[int] = []
+    partial = CampaignResult(module_id=module_id)
+    for unit_index, bank, row, config in units:
+        module.set_temperature(config.temperature_c)
+        meter = meters.get(bank)
+        if meter is None:
+            meter = FastRdtMeter(module, bank)
+            meters[bank] = meter
+        guess = meter.guess_rdt(row, config)
+        sweep = HammerSweep.from_guess(guess)
+        series = meter.measure_series(row, config, n_measurements, sweep=sweep)
+        if series.n_failed_sweeps == len(series):
+            # Never flipped inside the sweep; the serial loop records
+            # nothing for such (row, configuration) pairs either.
+            continue
+        indices.append(unit_index)
+        partial.observations.append(
+            RowObservation(
+                module_id=module_id,
+                bank=bank,
+                row=row,
+                config=config,
+                series=series,
+            )
+        )
+    return indices, partial
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+
+
+class CampaignEngine:
+    """Sharded, optionally cached execution of one module's campaign.
+
+    Args:
+        module_id: Catalog device id; workers rebuild the module from this
+            and ``seed``, so only picklable primitives cross the process
+            boundary.
+        configs: The test-configuration grid (order defines result order).
+        n_measurements: Series length per (row, configuration).
+        bank: Default bank for :meth:`run`.
+        seed: Module root seed.
+        n_jobs: Worker count; ``None`` resolves via ``VRD_JOBS`` (default
+            1). One job runs inline without a pool.
+        cache: Optional :class:`CampaignCache`; hits skip measurement
+            entirely.
+        disable_interference: Rebuild worker modules with refresh/ECC
+            interference disabled (the standard campaign drivers do).
+    """
+
+    def __init__(
+        self,
+        module_id: str,
+        configs: Sequence[TestConfig],
+        n_measurements: int = 1000,
+        bank: int = 0,
+        seed: int = DEFAULT_SEED,
+        n_jobs: Optional[int] = None,
+        cache: "Optional[CampaignCache]" = None,
+        disable_interference: bool = True,
+    ):
+        if n_measurements < 2:
+            raise MeasurementError("campaigns need at least 2 measurements")
+        self.module_id = module_id
+        self.configs = list(configs)
+        if not self.configs:
+            raise MeasurementError("campaign needs at least one configuration")
+        self.n_measurements = n_measurements
+        self.bank = bank
+        self.seed = seed
+        self.n_jobs = resolve_jobs(n_jobs)
+        self.cache = cache
+        self.disable_interference = disable_interference
+
+    def run(self, rows: Iterable[int]) -> CampaignResult:
+        """Measure every (row, configuration) pair on the default bank."""
+        return self.run_pairs((self.bank, row) for row in rows)
+
+    def run_pairs(self, pairs: Iterable["tuple[int, int]"]) -> CampaignResult:
+        """Measure every ((bank, row), configuration) pair.
+
+        Bit-identical to :meth:`Campaign.run_pairs
+        <repro.core.campaign.Campaign.run_pairs>` on a freshly built module
+        for any ``n_jobs``.
+        """
+        pairs = [(int(bank), int(row)) for bank, row in pairs]
+        if not pairs:
+            raise MeasurementError("campaign needs at least one row")
+        if len(set(pairs)) != len(pairs):
+            raise MeasurementError("duplicate (bank, row) pairs in campaign")
+
+        cache_key = None
+        if self.cache is not None:
+            cache_key = self.cache.key(
+                seed=self.seed,
+                module_id=self.module_id,
+                configs=self.configs,
+                n_measurements=self.n_measurements,
+                pairs=pairs,
+            )
+            cached = self.cache.load(cache_key)
+            if cached is not None:
+                return cached
+
+        # Serial order: configuration-major, pairs in the given order.
+        units = [
+            (config_index * len(pairs) + pair_index, bank, row, config)
+            for config_index, config in enumerate(self.configs)
+            for pair_index, (bank, row) in enumerate(pairs)
+        ]
+        partials = self._execute(units)
+
+        # Stitch with the existing merge (it validates shard disjointness),
+        # then restore the serial loop's observation order via the unit
+        # indices each worker reported.
+        index_of: Dict[Tuple[int, int, TestConfig], int] = {}
+        for indices, partial in partials:
+            for unit_index, obs in zip(indices, partial.observations):
+                index_of[(obs.bank, obs.row, obs.config)] = unit_index
+        result = partials[0][1]
+        for _, partial in partials[1:]:
+            result = result.merge(partial)
+        result.observations.sort(
+            key=lambda obs: index_of[(obs.bank, obs.row, obs.config)]
+        )
+
+        if self.cache is not None and cache_key is not None:
+            self.cache.store(cache_key, result)
+        return result
+
+    def _execute(self, units) -> List[Tuple[List[int], CampaignResult]]:
+        if self.n_jobs == 1 or len(units) == 1:
+            return [_measure_units(self._worker_args(units))]
+        shards = [units[start::self.n_jobs] for start in range(self.n_jobs)]
+        shards = [shard for shard in shards if shard]
+        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+            return list(
+                pool.map(
+                    _measure_units,
+                    [self._worker_args(shard) for shard in shards],
+                )
+            )
+
+    def _worker_args(self, units):
+        return (
+            self.module_id,
+            self.seed,
+            self.disable_interference,
+            self.n_measurements,
+            units,
+        )
+
+
+# ----------------------------------------------------------------------
+# On-disk cache
+# ----------------------------------------------------------------------
+
+
+class CampaignCache:
+    """Content-addressed campaign store under one directory.
+
+    Keys hash the complete recomputation recipe — root seed, module id,
+    configuration grid, row list (or a driver-supplied selection recipe),
+    and series length — so any parameter change is a clean miss. Values
+    are :mod:`repro.core.store` JSON files; corrupt or unreadable entries
+    degrade to misses rather than errors.
+    """
+
+    def __init__(self, root: "Path | str"):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    @classmethod
+    def resolve(
+        cls, cache_dir: "Path | str | None" = None
+    ) -> "Optional[CampaignCache]":
+        """Cache at ``cache_dir``, else ``$VRD_CACHE_DIR``, else
+        ``.vrd-cache/``. An empty ``VRD_CACHE_DIR`` disables caching
+        (returns ``None``)."""
+        if cache_dir is None:
+            env = os.environ.get(CACHE_DIR_ENV_VAR)
+            if env is not None and not env.strip():
+                return None
+            cache_dir = env or DEFAULT_CACHE_DIR
+        return cls(cache_dir)
+
+    def key(
+        self,
+        *,
+        seed: int,
+        module_id: str,
+        configs: Sequence[TestConfig],
+        n_measurements: int,
+        pairs: Optional[Sequence["tuple[int, int]"]] = None,
+        extra: Optional[dict] = None,
+    ) -> str:
+        """Hex digest addressing one campaign's full recipe.
+
+        ``pairs`` names measured rows explicitly; drivers that *derive*
+        rows (e.g. the selection protocol) pass the selection parameters
+        through ``extra`` instead, so the key is known before selection
+        runs — selection dominates campaign cost, and a cache hit must
+        skip it too.
+        """
+        payload = {
+            "format": 1,
+            "seed": int(seed),
+            "module_id": module_id,
+            "configs": [config_to_dict(config) for config in configs],
+            "n_measurements": int(n_measurements),
+            "pairs": (
+                None if pairs is None
+                else [[int(bank), int(row)] for bank, row in pairs]
+            ),
+            "extra": extra,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.blake2b(blob.encode("utf-8"), digest_size=16).hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[CampaignResult]:
+        """The cached campaign for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            return load_campaign(path)
+        except (MeasurementError, OSError):
+            return None  # treat corrupt/unreadable entries as misses
+
+    def store(self, key: str, result: CampaignResult) -> None:
+        """Persist a campaign under ``key`` (atomic within the cache dir)."""
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        try:
+            save_campaign(result, tmp)
+            tmp.replace(path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()

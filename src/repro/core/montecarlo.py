@@ -92,6 +92,33 @@ def expected_normalized_min(values: np.ndarray, n: int) -> float:
     return expectation / minimum
 
 
+def _subset_minima(
+    data: np.ndarray, n: int, iterations: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Minima of ``iterations`` uniform N-subsets drawn without replacement.
+
+    Ranking M iid uniform keys and keeping the n lowest-keyed positions is
+    a uniform N-subset, so one batched ``random`` + ``argpartition`` per
+    chunk replaces ``iterations`` ``rng.choice`` calls. Chunked to bound
+    the key matrix at a few megabytes for long series.
+    """
+    m = data.size
+    if m == 0:
+        raise MeasurementError("empty series")
+    if not 1 <= n <= m:
+        raise MeasurementError(f"subset size {n} must be in [1, {m}]")
+    minima = np.empty(iterations)
+    chunk = max(1, min(iterations, (1 << 21) // m))
+    done = 0
+    while done < iterations:
+        batch = min(chunk, iterations - done)
+        keys = rng.random((batch, m))
+        picks = np.argpartition(keys, n - 1, axis=1)[:, :n]
+        minima[done:done + batch] = data[picks].min(axis=1)
+        done += batch
+    return minima
+
+
 def probability_of_min_monte_carlo(
     values: np.ndarray,
     n: int,
@@ -104,13 +131,11 @@ def probability_of_min_monte_carlo(
     data = data[~np.isnan(data)]
     if rng is None:
         rng = np.random.default_rng(0)
+    if data.size == 0:
+        raise MeasurementError("empty series")
     threshold = data.min() * (1.0 + within)
-    hits = 0
-    for _ in range(iterations):
-        sample = rng.choice(data, size=n, replace=False)
-        if sample.min() <= threshold:
-            hits += 1
-    return hits / iterations
+    minima = _subset_minima(data, n, iterations, rng)
+    return float((minima <= threshold).sum() / iterations)
 
 
 def expected_normalized_min_monte_carlo(
@@ -124,9 +149,7 @@ def expected_normalized_min_monte_carlo(
     data = data[~np.isnan(data)]
     if rng is None:
         rng = np.random.default_rng(0)
-    minima = np.empty(iterations)
-    for index in range(iterations):
-        minima[index] = rng.choice(data, size=n, replace=False).min()
+    minima = _subset_minima(data, n, iterations, rng)
     return float(minima.mean() / data.min())
 
 

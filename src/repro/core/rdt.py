@@ -68,9 +68,18 @@ class HammerSweep:
         return int(math.ceil((self.stop - self.start) / self.step))
 
     def grid(self) -> np.ndarray:
-        """All hammer counts of the sweep, rounded to whole activations."""
-        points = self.start + self.step * np.arange(self.n_points)
-        return np.round(points)
+        """All hammer counts of the sweep, rounded to whole activations.
+
+        The grid is built once per sweep and cached (read-only): quantize
+        runs once per measurement series, and rebuilding the array per call
+        was measurable at campaign scale.
+        """
+        cached = self.__dict__.get("_grid")
+        if cached is None:
+            cached = np.round(self.start + self.step * np.arange(self.n_points))
+            cached.setflags(write=False)
+            object.__setattr__(self, "_grid", cached)
+        return cached
 
     def quantize(self, latent: np.ndarray) -> np.ndarray:
         """Measured value for each latent threshold, NaN past the grid.
@@ -227,6 +236,26 @@ class FastRdtMeter:
             self._condition(config), repeats, stream="guess"
         )
         return float(samples.mean())
+
+    def guess_rdt_batch(
+        self,
+        victims: Sequence[int],
+        config: TestConfig,
+        repeats: int = 10,
+    ) -> np.ndarray:
+        """:meth:`guess_rdt` for many victims in one call, bit-identical.
+
+        Routes through the fault model's batched probe, which mirrors the
+        per-row process construction and guess draws without materializing
+        :class:`~repro.dram.faults.RowVrdProcess` objects (or warming the
+        module's per-row process cache). Row selection probes thousands of
+        rows per module; this is its fast path.
+        """
+        mapping = self.module.bank(self.bank).mapping
+        physical = [mapping.to_physical(victim) for victim in victims]
+        return self.module.fault_model.probe_guess_means(
+            self.bank, physical, self._condition(config), repeats=repeats
+        )
 
     def measure_series(
         self,

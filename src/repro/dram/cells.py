@@ -75,6 +75,19 @@ class CellLayout:
             return ((bit >> 3) + row) % 2 == 0
         return self.row_is_true_cell(row)
 
+    def bits_are_true_cells(self, row: int, bits: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`bit_is_true_cell` over an array of bit indices.
+
+        Element-for-element equal to the scalar method; the batched row
+        probe uses this to classify a row's weak cells in one shot.
+        """
+        bits = np.asarray(bits)
+        if bits.size and int(bits.min()) < 0:
+            raise ConfigurationError("negative bit index")
+        if self.kind is CellLayoutKind.MIXED:
+            return ((bits >> 3) + row) % 2 == 0
+        return np.full(bits.shape, self.row_is_true_cell(row), dtype=bool)
+
     def charged_mask(self, row: int, data_bits: np.ndarray) -> np.ndarray:
         """Boolean mask of cells that hold charge for the stored bits.
 

@@ -1,0 +1,253 @@
+"""The execution engine's correctness contract.
+
+The engine promises results *bit-identical* to the serial
+:class:`~repro.core.campaign.Campaign` loop for any worker count and any
+shard order, and a cache that only ever returns exact round-trips of what
+was stored. These tests assert that contract directly — array equality,
+not statistical closeness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chips import build_module
+from repro.core import CHECKERED0, ROWSTRIPE0, FastRdtMeter, TestConfig
+from repro.core.campaign import Campaign, CampaignResult, select_vulnerable_rows
+from repro.core.engine import (
+    CampaignCache,
+    CampaignEngine,
+    JOBS_ENV_VAR,
+    _measure_units,
+    resolve_jobs,
+)
+from repro.errors import ConfigurationError, MeasurementError
+
+MODULE_ID = "M1"
+SEED = 1234
+N_MEASUREMENTS = 60
+ROWS = [3, 17, 40, 77, 105, 128]
+
+
+def _configs(module):
+    return [
+        TestConfig(CHECKERED0, t_agg_on_ns=module.timing.tRAS),
+        TestConfig(ROWSTRIPE0, t_agg_on_ns=module.timing.tRAS,
+                   temperature_c=80.0),
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    module = build_module(MODULE_ID, seed=SEED)
+    module.disable_interference_sources()
+    campaign = Campaign(module, _configs(module), n_measurements=N_MEASUREMENTS)
+    return campaign.run(ROWS)
+
+
+def _engine(n_jobs, cache=None, seed=SEED):
+    module = build_module(MODULE_ID, seed=seed)
+    return CampaignEngine(
+        MODULE_ID,
+        _configs(module),
+        n_measurements=N_MEASUREMENTS,
+        seed=seed,
+        n_jobs=n_jobs,
+        cache=cache,
+    )
+
+
+def assert_identical(left: CampaignResult, right: CampaignResult):
+    """Bit-exact equality including observation order."""
+    assert left.module_id == right.module_id
+    assert len(left) == len(right)
+    for a, b in zip(left.observations, right.observations):
+        assert (a.bank, a.row, a.config) == (b.bank, b.row, b.config)
+        np.testing.assert_array_equal(a.series.values, b.series.values)
+        assert a.series.grid_step == b.series.grid_step
+
+
+# ----------------------------------------------------------------------
+# Bit-identical parallel execution
+# ----------------------------------------------------------------------
+
+
+def test_single_job_matches_serial_campaign(serial_result):
+    assert_identical(_engine(n_jobs=1).run(ROWS), serial_result)
+
+
+def test_four_jobs_match_serial_campaign(serial_result):
+    assert_identical(_engine(n_jobs=4).run(ROWS), serial_result)
+
+
+def test_job_counts_agree_with_each_other(serial_result):
+    assert_identical(_engine(n_jobs=2).run(ROWS), _engine(n_jobs=3).run(ROWS))
+
+
+def test_worker_shards_merge_to_serial_under_any_order(serial_result):
+    """Shard the unit list arbitrarily, run shards through the worker
+    entry point in scrambled order, and merge in every rotation: the
+    stitched result must equal the serial loop regardless."""
+    module = build_module(MODULE_ID, seed=SEED)
+    configs = _configs(module)
+    units = [
+        (ci * len(ROWS) + pi, 0, row, config)
+        for ci, config in enumerate(configs)
+        for pi, row in enumerate(ROWS)
+    ]
+    # Deliberately unbalanced, interleaved, reversed shards.
+    shards = [units[0:1], units[5:2:-1], units[2:0:-1], units[6::2],
+              units[7::2]]
+    partials = [
+        _measure_units((MODULE_ID, SEED, True, N_MEASUREMENTS, shard))
+        for shard in shards
+    ]
+    for rotation in range(len(partials)):
+        ordered = partials[rotation:] + partials[:rotation]
+        index_of = {}
+        for indices, partial in ordered:
+            for unit_index, obs in zip(indices, partial.observations):
+                index_of[(obs.bank, obs.row, obs.config)] = unit_index
+        merged = ordered[0][1]
+        for _, partial in ordered[1:]:
+            merged = merged.merge(partial)
+        merged.observations.sort(
+            key=lambda obs: index_of[(obs.bank, obs.row, obs.config)]
+        )
+        assert_identical(merged, serial_result)
+
+
+def test_engine_rejects_duplicate_pairs():
+    with pytest.raises(MeasurementError):
+        _engine(n_jobs=1).run_pairs([(0, 5), (0, 5)])
+
+
+def test_engine_rejects_empty_rows():
+    with pytest.raises(MeasurementError):
+        _engine(n_jobs=1).run([])
+
+
+# ----------------------------------------------------------------------
+# Batched probing
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("module_id", ["M1", "S3", "Chip0"])
+def test_batched_probe_equals_per_row_guesses(module_id):
+    """guess_rdt_batch must reproduce guess_rdt bit-for-bit, including on
+    modules with non-identity logical-to-physical row mappings (S3,
+    Chip0)."""
+    module = build_module(module_id, seed=7)
+    module.disable_interference_sources()
+    meter = FastRdtMeter(module, bank=0)
+    config = TestConfig(CHECKERED0, t_agg_on_ns=module.timing.tRAS)
+    rows = [0, 5, 9, 13, 64, 200]
+    batch = meter.guess_rdt_batch(rows, config, repeats=10)
+    singles = np.array([meter.guess_rdt(row, config) for row in rows])
+    np.testing.assert_array_equal(batch, singles)
+
+
+def test_batched_selection_equals_reference_selection():
+    module = build_module(MODULE_ID, seed=SEED)
+    module.disable_interference_sources()
+    config = TestConfig(CHECKERED0, t_agg_on_ns=module.timing.tRAS)
+    fast = select_vulnerable_rows(module, config, block_rows=48, per_block=6)
+    reference = select_vulnerable_rows(
+        module, config, block_rows=48, per_block=6, batched=False
+    )
+    assert fast == reference
+
+
+def test_geometric_mirror_self_check_passes():
+    """The probe fast path relies on an exact mirror of numpy's geometric
+    sampler; the import-time self-check must accept this numpy build
+    (otherwise the probe silently degrades to the slow path)."""
+    from repro.dram import faults
+
+    assert faults._geometric_search_mirror_ok()
+    assert faults._BULK_UNIFORM_OK
+
+
+# ----------------------------------------------------------------------
+# Job resolution
+# ----------------------------------------------------------------------
+
+
+def test_resolve_jobs_explicit_and_env(monkeypatch):
+    monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(3) == 3
+    monkeypatch.setenv(JOBS_ENV_VAR, "4")
+    assert resolve_jobs(None) == 4
+    assert resolve_jobs(2) == 2  # explicit wins
+    monkeypatch.setenv(JOBS_ENV_VAR, "zero")
+    with pytest.raises(ConfigurationError):
+        resolve_jobs(None)
+    with pytest.raises(ConfigurationError):
+        resolve_jobs(0)
+
+
+# ----------------------------------------------------------------------
+# On-disk cache
+# ----------------------------------------------------------------------
+
+
+def test_cache_round_trip(tmp_path, serial_result):
+    cache = CampaignCache(tmp_path / "cache")
+    engine = _engine(n_jobs=1, cache=cache)
+    first = engine.run(ROWS)
+    assert cache.path_for(
+        cache.key(
+            seed=SEED,
+            module_id=MODULE_ID,
+            configs=engine.configs,
+            n_measurements=N_MEASUREMENTS,
+            pairs=[(0, row) for row in ROWS],
+        )
+    ).exists()
+    reloaded = _engine(n_jobs=1, cache=cache).run(ROWS)
+    assert_identical(reloaded, first)
+    assert_identical(reloaded, serial_result)
+
+
+def test_cache_misses_on_different_seed(tmp_path):
+    cache = CampaignCache(tmp_path / "cache")
+    first = _engine(n_jobs=1, cache=cache, seed=SEED).run(ROWS)
+    other = _engine(n_jobs=1, cache=cache, seed=SEED + 1).run(ROWS)
+    assert len(list(cache.root.glob("*.json"))) == 2
+    with pytest.raises(AssertionError):
+        assert_identical(first, other)
+
+
+def test_cache_key_separates_every_recipe_axis():
+    cache_key_kwargs = dict(
+        seed=1, module_id="M1",
+        configs=[TestConfig(CHECKERED0, t_agg_on_ns=35.0)],
+        n_measurements=100, pairs=[(0, 1)],
+    )
+    cache = CampaignCache.resolve(".")  # no writes: key() is pure
+    base = cache.key(**cache_key_kwargs)
+    for change in (
+        dict(seed=2),
+        dict(module_id="M4"),
+        dict(configs=[TestConfig(ROWSTRIPE0, t_agg_on_ns=35.0)]),
+        dict(n_measurements=101),
+        dict(pairs=[(0, 2)]),
+        dict(extra={"driver": "x"}),
+    ):
+        assert cache.key(**{**cache_key_kwargs, **change}) != base
+
+
+def test_corrupt_cache_entry_degrades_to_miss(tmp_path):
+    cache = CampaignCache(tmp_path / "cache")
+    key = "deadbeef"
+    cache.path_for(key).write_text("{not json")
+    assert cache.load(key) is None
+
+
+def test_cache_resolve_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("VRD_CACHE_DIR", str(tmp_path / "env-cache"))
+    cache = CampaignCache.resolve()
+    assert cache is not None and cache.root == tmp_path / "env-cache"
+    monkeypatch.setenv("VRD_CACHE_DIR", "")
+    assert CampaignCache.resolve() is None
+    assert CampaignCache.resolve(tmp_path / "explicit") is not None
