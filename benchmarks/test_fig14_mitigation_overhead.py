@@ -1,12 +1,17 @@
 """Fig. 14: four-core performance under Graphene, PRAC, PARA, and MINT,
 normalized to a mitigation-free baseline, for RDT 1024 and 128 with 0-50%
 guardbands.
+
+Runs through :func:`repro.memsim.sweep.run_sweep` — the epoch-batched fast
+core with per-mix shared address streams, sharded across ``VRD_JOBS``
+workers and cached on disk alongside the campaign cache. The sweep's
+speedups are bit-identical to driving the reference
+:meth:`~repro.memsim.system.MemorySystem.run` loop cell by cell
+(``benchmarks/test_perf_memsim.py`` and the tier-1 suite assert this).
 """
 
 from repro.analysis.tables import format_table
-from repro.memsim import MemorySystem, SystemConfig, standard_mixes
-from repro.memsim.metrics import geometric_mean, normalized_weighted_speedup
-from repro.mitigations import apply_guardband, build_mitigation
+from repro.memsim.sweep import SweepCache, SweepSpec, run_sweep
 from benchmarks.conftest import N_MIXES
 
 MITIGATIONS = ("Graphene", "PRAC", "PARA", "MINT")
@@ -15,26 +20,16 @@ MARGINS = (0.0, 0.10, 0.25, 0.50)
 
 
 def test_fig14_mitigation_performance(benchmark):
+    spec = SweepSpec(
+        mitigations=MITIGATIONS,
+        rdts=tuple(float(rdt) for rdt in RDTS),
+        margins=MARGINS,
+        n_mixes=N_MIXES,
+    )
+
     def run():
-        mixes = standard_mixes(N_MIXES)
-        config = SystemConfig(window_ns=60_000.0)
-        baselines = {mix.name: MemorySystem(mix, config).run() for mix in mixes}
-        table = {}
-        for rdt in RDTS:
-            for margin in MARGINS:
-                threshold = apply_guardband(rdt, margin)
-                for name in MITIGATIONS:
-                    speedups = []
-                    for mix in mixes:
-                        mitigation = build_mitigation(name, threshold)
-                        result = MemorySystem(mix, config, mitigation).run()
-                        speedups.append(
-                            normalized_weighted_speedup(
-                                result, baselines[mix.name]
-                            )
-                        )
-                    table[(rdt, margin, name)] = geometric_mean(speedups)
-        return table
+        result = run_sweep(spec, cache=SweepCache.resolve())
+        return result.table()
 
     table = benchmark.pedantic(run, rounds=1, iterations=1)
 

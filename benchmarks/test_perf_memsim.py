@@ -1,0 +1,97 @@
+"""Memory-system perf baseline: fast core, sharded sweep, cache hits.
+
+Times four routes through the full Fig. 14 grid (4 mitigations x 2 RDTs x
+4 guardbands, geomean'd over ``VRD_BENCH_MIXES`` four-core mixes, plus the
+per-mix baselines):
+
+* **serial reference** — :meth:`~repro.memsim.system.MemorySystem.run`,
+  one Python iteration per request, one run per cell;
+* **fast serial** — the epoch-batched core
+  (:func:`~repro.memsim.fastcore.run_fast`) with per-mix shared address
+  streams, still one process;
+* **fast + jobs** — the same fast core sharded across ``VRD_JOBS`` worker
+  processes by :func:`~repro.memsim.sweep.run_sweep`;
+* **cache hit** — the same sweep reloaded from the on-disk
+  :class:`~repro.memsim.sweep.SweepCache`.
+
+All three computed routes are asserted bit-identical, per mix and per
+cell. Timed routes take the best of ``VRD_BENCH_MEMSIM_REPS`` repetitions
+(default 2) to damp scheduler noise.
+
+Results land in ``BENCH_memsim.json`` at the repo root.
+``VRD_BENCH_MEMSIM_MIN_SPEEDUP`` (default 1.0) sets the failure floor for
+the fast-route speedup, so CI smoke runs don't flake on loaded machines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.memsim.sweep import SweepCache, SweepSpec, run_sweep
+from benchmarks.conftest import N_MIXES
+
+N_JOBS = int(os.environ.get("VRD_JOBS") or 1)
+REPS = int(os.environ.get("VRD_BENCH_MEMSIM_REPS", 2))
+MIN_SPEEDUP = float(os.environ.get("VRD_BENCH_MEMSIM_MIN_SPEEDUP", 1.0))
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_memsim.json"
+
+
+def _best_of(route):
+    best, result = None, None
+    for _ in range(max(1, REPS)):
+        t0 = time.perf_counter()
+        result = route()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def test_memsim_speedup_and_cache_hit(tmp_path):
+    reference_spec = SweepSpec(n_mixes=N_MIXES, engine="reference")
+    fast_spec = SweepSpec(n_mixes=N_MIXES, engine="fast")
+
+    # -- serial reference: per-request loop, per-run generators ----------
+    reference_s, reference = _best_of(lambda: run_sweep(reference_spec))
+
+    # -- fast core, one process ------------------------------------------
+    fast_s, fast = _best_of(lambda: run_sweep(fast_spec))
+    assert fast.per_mix == reference.per_mix
+
+    # -- fast core sharded across processes ------------------------------
+    parallel_s, parallel = _best_of(
+        lambda: run_sweep(fast_spec, n_jobs=N_JOBS)
+    )
+    assert parallel.per_mix == reference.per_mix
+
+    # -- cache: cold store, then hot reload ------------------------------
+    cache = SweepCache(tmp_path / "cache")
+    run_sweep(fast_spec, n_jobs=N_JOBS, cache=cache)
+    t0 = time.perf_counter()
+    cached = run_sweep(fast_spec, n_jobs=N_JOBS, cache=cache)
+    cache_hit_s = time.perf_counter() - t0
+    assert cached.per_mix == reference.per_mix
+
+    best_fast_s = min(fast_s, parallel_s)
+    record = {
+        "n_mixes": N_MIXES,
+        "grid_cells": len(fast_spec.cells()),
+        "window_ns": fast_spec.window_ns,
+        "n_jobs": N_JOBS,
+        "reps": REPS,
+        "serial_reference_s": round(reference_s, 4),
+        "fast_serial_s": round(fast_s, 4),
+        "fast_parallel_s": round(parallel_s, 4),
+        "cache_hit_s": round(cache_hit_s, 6),
+        "fast_speedup": round(reference_s / fast_s, 2),
+        "combined_speedup": round(reference_s / best_fast_s, 2),
+        "cache_hit_speedup": round(best_fast_s / cache_hit_s, 1),
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nmemsim perf: {json.dumps(record)}")
+
+    assert record["combined_speedup"] >= MIN_SPEEDUP
+    assert record["cache_hit_speedup"] >= 10.0

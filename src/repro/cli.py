@@ -7,7 +7,8 @@ Small, scriptable entry points onto the library's main experiments:
 * ``profile`` — a Sec. 5-style characterization summary for one device;
 * ``table3`` — the ECC outcome probabilities at a chosen bit error rate;
 * ``testtime`` — Appendix A testing-cost headline scenarios;
-* ``attack`` — profile-and-attack security check for one mitigation.
+* ``attack`` — profile-and-attack security check for one mitigation;
+* ``fig14`` — mitigation-overhead sweep (cached, sharded, fast core).
 """
 
 from __future__ import annotations
@@ -97,6 +98,37 @@ def _build_parser() -> argparse.ArgumentParser:
         "analyze", help="analyze a saved campaign JSON (see profile -o)"
     )
     analyze.add_argument("file", help="campaign JSON written by 'profile -o'")
+
+    fig14 = sub.add_parser(
+        "fig14", help="mitigation-overhead sweep (Fig. 14, Sec. 6.3)"
+    )
+    fig14.add_argument(
+        "--mixes", type=int, default=5,
+        help="number of four-core workload mixes (paper: 15; default 5)",
+    )
+    fig14.add_argument(
+        "--window", type=float, default=60_000.0,
+        help="simulated window per run in ns (default 60000)",
+    )
+    fig14.add_argument(
+        "--engine", default="fast", choices=["fast", "reference"],
+        help="simulation core; both produce bit-identical speedups "
+             "(default: fast)",
+    )
+    fig14.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="worker processes (default: $VRD_JOBS, else 1); results are "
+             "bit-identical for any job count",
+    )
+    fig14.add_argument(
+        "--cache-dir", default=None,
+        help="sweep cache directory (default: $VRD_CACHE_DIR, else "
+             ".vrd-cache/)",
+    )
+    fig14.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute even if the sweep is cached",
+    )
 
     sub.add_parser(
         "verify",
@@ -268,6 +300,35 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fig14(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+    from repro.memsim.sweep import SweepCache, SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        n_mixes=args.mixes, window_ns=args.window, engine=args.engine
+    )
+    cache = None if args.no_cache else SweepCache.resolve(args.cache_dir)
+    result = run_sweep(spec, n_jobs=args.jobs, cache=cache)
+    rows = []
+    for rdt in spec.rdts:
+        for margin in spec.margins:
+            rows.append((
+                int(rdt),
+                f"{int(margin * 100)}%",
+                *(
+                    f"{result.speedup(rdt, margin, name):.4f}"
+                    for name in spec.mitigations
+                ),
+            ))
+    print(format_table(
+        ["RDT", "margin", *spec.mitigations],
+        rows,
+        title=f"Fig. 14 | normalized weighted speedup ({spec.n_mixes} "
+              f"four-core mixes, {args.engine} engine)",
+    ))
+    return 0
+
+
 def _cmd_verify() -> int:
     """Fast end-to-end sanity checks against the paper's headline bands."""
     import numpy as np
@@ -338,6 +399,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_attack(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "fig14":
+        return _cmd_fig14(args)
     if args.command == "verify":
         return _cmd_verify()
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -18,6 +18,8 @@ from repro.memsim.trace import (
 )
 from repro.memsim.system import MemorySystem, SimulationResult, SystemConfig
 from repro.memsim.metrics import normalized_weighted_speedup
+from repro.memsim.fastcore import CoreStream, run_fast
+from repro.memsim.sweep import SweepCache, SweepResult, SweepSpec, run_sweep
 
 __all__ = [
     "MemRequest",
@@ -29,4 +31,10 @@ __all__ = [
     "SystemConfig",
     "SimulationResult",
     "normalized_weighted_speedup",
+    "CoreStream",
+    "run_fast",
+    "SweepSpec",
+    "SweepResult",
+    "SweepCache",
+    "run_sweep",
 ]

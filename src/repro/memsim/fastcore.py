@@ -1,0 +1,313 @@
+"""Epoch-batched fast core for the memory-system simulation.
+
+:meth:`~repro.memsim.system.MemorySystem.run` processes one request per
+Python iteration, with a virtual-call mitigation hook and a
+:class:`~repro.mitigations.base.PreventiveAction` allocation on every row
+activation. At Fig. 14 sweep scale (mitigations x thresholds x guardbands
+x mixes) that loop dominates benchmark wall-clock. This module executes
+the *same* simulation with three structural changes:
+
+1. **Pre-generated streams** — each core's address stream is materialized
+   in bulk (:meth:`~repro.memsim.trace.AddressGenerator.take`) instead of
+   one Python call per request, and the timing loop reads plain Python
+   lists. Streams can also be supplied via :class:`CoreStream`, letting a
+   sweep share one materialization across the ~30 runs of a mix.
+2. **Epoch-batched mitigation state** — the mitigation's counters live in
+   preallocated numpy tables (:mod:`repro.mitigations.fast`). The loop
+   asks the batcher for an epoch *budget* and buffers every activation
+   whose key is not in the batcher's *danger set* (the rows or banks
+   provably close to a preventive action), flushing the buffer through
+   one batched ``on_activate_many`` call per epoch. Only dangerous or
+   budget-exhausted activations step through exact per-activation logic,
+   whose feedback into bank/rank timing is applied just like the
+   reference loop.
+3. **No per-request allocations** — bank state is three flat lists, the
+   4-way arrival arbiter is inlined, and actions travel as plain tuples.
+
+**Equivalence contract.** The fast core is bit-identical to the reference
+loop — same requests per core, same latency sums (same float operations in
+the same order), same hit/miss split, same preventive-refresh and
+rank-block counts — for every mitigation (array-batched or generic) and
+for trace-driven address sources. ``tests/memsim/test_fastcore.py``
+asserts this across the Fig. 14 grid; any change to the reference loop's
+arithmetic MUST be mirrored here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.memsim.system import (
+    _T_BL,
+    _T_CL,
+    _T_RC,
+    _T_RCD,
+    _T_REFI,
+    _T_RFC,
+    _T_RP,
+    MemorySystem,
+    SimulationResult,
+)
+from repro.memsim.trace import AddressGenerator
+from repro.mitigations.base import VICTIM_REFRESH_NS
+from repro.mitigations.fast import make_batcher
+
+#: Requests materialized per stream-growth step.
+STREAM_CHUNK = 4096
+
+#: Pre-summed row-miss access latency. Summed once, exactly as the
+#: reference loop's ``access_latency = _T_RCD + _T_CL``, so that
+#: ``start + _MISS_LATENCY`` reproduces its float rounding bit-for-bit
+#: (``start + _T_RCD + _T_CL`` would associate differently).
+_MISS_LATENCY = _T_RCD + _T_CL
+
+#: Effectively-infinite epoch budget used when no mitigation is attached.
+_NO_MITIGATION = 1 << 62
+
+
+class CoreStream:
+    """One core's materialized address stream, grown on demand.
+
+    Wraps any per-core address source. For
+    :class:`~repro.memsim.trace.AddressGenerator` sources the growth step
+    is one vectorized ``take``; generic sources (e.g.
+    :class:`~repro.memsim.tracefile.TracePlayer`) are drained through
+    ``next_address``. A sweep can key streams by workload and reuse one
+    instance across every run of a mix — the stream only depends on the
+    (workload, core, geometry, seed) recipe, not on the mitigation.
+    """
+
+    __slots__ = ("source", "banks", "rows", "synthetic")
+
+    def __init__(self, source):
+        self.source = source
+        self.banks: List[int] = []
+        self.rows: List[int] = []
+        self.synthetic = isinstance(source, AddressGenerator)
+
+    def ensure(self, n: int) -> None:
+        """Grow the materialized stream to at least ``n`` addresses."""
+        while len(self.banks) < n:
+            if self.synthetic:
+                banks, rows = self.source.take(STREAM_CHUNK)
+                self.banks.extend(banks.tolist())
+                self.rows.extend(rows.tolist())
+            else:
+                next_address = self.source.next_address
+                for _ in range(STREAM_CHUNK):
+                    bank, row = next_address()
+                    self.banks.append(bank)
+                    self.rows.append(row)
+
+
+def run_fast(
+    system: MemorySystem,
+    streams: Optional[Sequence[CoreStream]] = None,
+) -> SimulationResult:
+    """Execute one simulation window through the fast core.
+
+    Args:
+        system: The system to simulate (its generators are consumed unless
+            ``streams`` is supplied).
+        streams: Optional pre-materialized per-core streams (one per core),
+            e.g. shared across the runs of a sweep. They must have been
+            built from the same generator recipe as ``system``'s.
+    """
+    config = system.config
+    mitigation = system.mitigation
+    if streams is None:
+        streams = [CoreStream(source) for source in system._generators]
+    elif len(streams) != 4:
+        raise SimulationError("need one stream per core")
+
+    # Array-backed batchers index (bank, row) tables, so they require rows
+    # below config.n_rows — guaranteed for synthetic generators, unknown
+    # for custom sources, which therefore take the exact generic path.
+    batcher = None
+    if mitigation is not None:
+        tables_safe = all(stream.synthetic for stream in streams)
+        batcher = make_batcher(
+            mitigation, config.n_banks, config.n_rows, allow_tables=tables_safe
+        )
+
+    window_ns = config.window_ns
+    t_refw = config.t_refw_ns
+    n_banks = config.n_banks
+    n_rows = config.n_rows
+    gaps = list(system._gaps)
+
+    arrivals = [0.0, 0.0, 0.0, 0.0]
+    completed = [0, 0, 0, 0]
+    latency_sums = [0.0, 0.0, 0.0, 0.0]
+    positions = [0, 0, 0, 0]
+    stream_banks = []
+    stream_rows = []
+    for stream, gap in zip(streams, gaps):
+        # Each request advances its core's arrival by at least gap + tCL
+        # (a hit's completion is start + tCL >= arrival + tCL), so this
+        # bound can never be exceeded — the loop needs no bounds checks.
+        stream.ensure(int(window_ns / (gap + _T_CL)) + 2)
+        stream_banks.append(stream.banks)
+        stream_rows.append(stream.rows)
+
+    bank_ready = [0.0] * n_banks
+    bank_open: List[Optional[int]] = [None] * n_banks
+    bank_last = [-1e9] * n_banks
+    row_hits = 0
+    row_misses = 0
+    bus_free = 0.0
+    rank_blocked_until = 0.0
+    next_ref = _T_REFI if config.refresh_enabled else float("inf")
+    next_window = t_refw
+
+    pending_banks: List[int] = []
+    pending_rows: List[int] = []
+    if batcher is not None:
+        budget = batcher.budget()
+        danger = batcher.danger  # mutated in place, never rebound
+        danger_by_bank = batcher.danger_by_bank
+    else:
+        budget = _NO_MITIGATION
+        danger = ()
+        danger_by_bank = False
+
+    while True:
+        # Inlined 4-way arbiter: earliest arrival, lowest core on ties —
+        # the same pick as the reference's min(range(4), key=...).
+        core = 0
+        arrival = arrivals[0]
+        if arrivals[1] < arrival:
+            core = 1
+            arrival = arrivals[1]
+        if arrivals[2] < arrival:
+            core = 2
+            arrival = arrivals[2]
+        if arrivals[3] < arrival:
+            core = 3
+            arrival = arrivals[3]
+        if arrival >= window_ns:
+            break
+
+        position = positions[core]
+        bank_index = stream_banks[core][position]
+        row = stream_rows[core][position]
+        positions[core] = position + 1
+
+        start = arrival
+        ready = bank_ready[bank_index]
+        if ready > start:
+            start = ready
+        if rank_blocked_until > start:
+            start = rank_blocked_until
+
+        # Periodic refresh stalls the rank.
+        while next_ref <= start:
+            ref_end = next_ref + _T_RFC
+            if start < ref_end:
+                start = ref_end
+            next_ref += _T_REFI
+        # Tracking-window boundary for the mitigation.
+        if batcher is not None and start >= next_window:
+            if pending_banks:
+                batcher.on_activate_many(pending_banks, pending_rows)
+                pending_banks = []
+                pending_rows = []
+            batcher.on_refresh_window(start)
+            next_window += t_refw
+            budget = batcher.budget()
+
+        open_row = bank_open[bank_index]
+        needs_act = open_row != row
+        if needs_act:
+            row_misses += 1
+            if open_row is not None:
+                start += _T_RP
+            paced = bank_last[bank_index] + _T_RC
+            if paced > start:
+                start = paced
+            bank_last[bank_index] = start
+            completion = start + _MISS_LATENCY
+        else:
+            row_hits += 1
+            completion = start + _T_CL
+        # Shared data bus serializes bursts.
+        burst = bus_free + _T_BL
+        if burst > completion:
+            completion = burst
+        bus_free = completion
+
+        bank_open[bank_index] = row
+        bank_ready[bank_index] = completion
+
+        if needs_act and batcher is not None:
+            key = bank_index if danger_by_bank else bank_index * n_rows + row
+            take_step = key in danger
+            if not take_step:
+                if budget < 0:  # stale since the last exact step
+                    budget = batcher.budget()
+                if budget > 0:
+                    pending_banks.append(bank_index)
+                    pending_rows.append(row)
+                    budget -= 1
+                    if budget == 0:
+                        batcher.on_activate_many(pending_banks, pending_rows)
+                        pending_banks = []
+                        pending_rows = []
+                        budget = batcher.budget()
+                else:
+                    take_step = True
+            if take_step:
+                if pending_banks:
+                    batcher.on_activate_many(pending_banks, pending_rows)
+                    pending_banks = []
+                    pending_rows = []
+                action = batcher.step(bank_index, row, start)
+                if action is not None:
+                    victims, rank_block_ns, bank_delays = action
+                    for victim_bank, victim_row in victims:
+                        if 0 <= victim_bank < n_banks:
+                            busy_from = bank_ready[victim_bank]
+                            if completion > busy_from:
+                                busy_from = completion
+                            bank_ready[victim_bank] = (
+                                busy_from + VICTIM_REFRESH_NS
+                            )
+                            # The refresh activates the victim row, closing
+                            # whatever was open in that bank.
+                            bank_open[victim_bank] = None
+                    if rank_block_ns > 0:
+                        blocked = rank_blocked_until
+                        if completion > blocked:
+                            blocked = completion
+                        rank_blocked_until = blocked + rank_block_ns
+                    for delayed_bank, delay_ns in bank_delays:
+                        if 0 <= delayed_bank < n_banks:
+                            busy_from = bank_ready[delayed_bank]
+                            if completion > busy_from:
+                                busy_from = completion
+                            bank_ready[delayed_bank] = busy_from + delay_ns
+                budget = -1  # recompute lazily at the next buffered miss
+
+        completed[core] += 1
+        latency_sums[core] += completion - arrival
+        arrivals[core] = completion + gaps[core]
+
+    if batcher is not None:
+        if pending_banks:
+            batcher.on_activate_many(pending_banks, pending_rows)
+        batcher.finalize()
+
+    result = SimulationResult(
+        mix_name=system.mix.name,
+        mitigation_name=(mitigation.name if mitigation else "baseline"),
+        window_ns=window_ns,
+        requests_per_core=completed,
+        total_latency_per_core=latency_sums,
+        row_hits=row_hits,
+        row_misses=row_misses,
+    )
+    if mitigation is not None:
+        result.preventive_refreshes = mitigation.preventive_refreshes
+        result.rank_blocks = mitigation.rank_blocks
+    return result

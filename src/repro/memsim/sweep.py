@@ -1,0 +1,319 @@
+"""Sharded, cached execution of the Fig. 14 mitigation-overhead sweep.
+
+The Fig. 14 study is a grid — mitigation x RDT x guardband, geomean'd over
+four-core workload mixes — of independent simulations. This module runs
+that grid the way :mod:`repro.core.engine` runs bit-flip campaigns:
+
+* **Fast core per cell.** Every simulation goes through
+  :func:`repro.memsim.fastcore.run_fast` (``engine="fast"``, the default),
+  with one set of materialized per-core address streams *shared by every
+  run of a mix* — the stream depends only on the (workload, core, geometry,
+  seed) recipe, never on the mitigation. ``engine="reference"`` instead
+  drives :meth:`~repro.memsim.system.MemorySystem.run`; both engines
+  produce bit-identical speedups.
+* **Process sharding.** Cells are dealt round-robin across a
+  ``ProcessPoolExecutor`` (``n_jobs``/``$VRD_JOBS``, same convention as the
+  campaign engine). Only the :class:`SweepSpec` and cell tuples cross the
+  process boundary; each worker rebuilds mixes, streams, and per-mix
+  baselines once and serves all of its cells from them. Results are
+  bit-identical for any job count.
+* **On-disk cache.** :class:`SweepCache` stores finished sweeps as
+  content-addressed JSON under the same directory the campaign cache uses
+  (``$VRD_CACHE_DIR``, default ``.vrd-cache/``). The key hashes the full
+  recipe — grid, mix count, window, geometry, seed, and engine — so any
+  parameter change is a clean miss, and corrupt entries degrade to misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.memsim.fastcore import CoreStream, run_fast
+from repro.memsim.metrics import geometric_mean, normalized_weighted_speedup
+from repro.memsim.system import MemorySystem, SystemConfig
+from repro.memsim.trace import WorkloadMix, standard_mixes
+from repro.mitigations import apply_guardband, build_mitigation
+
+#: The Fig. 14 grid (paper Sec. 6.3): four mitigations, a near-future and a
+#: far-future threshold, 0-50% guardbands.
+FIG14_MITIGATIONS: Tuple[str, ...] = ("Graphene", "PRAC", "PARA", "MINT")
+FIG14_RDTS: Tuple[float, ...] = (1024.0, 128.0)
+FIG14_MARGINS: Tuple[float, ...] = (0.0, 0.10, 0.25, 0.50)
+
+#: One sweep cell: (rdt, margin, mitigation name).
+Cell = Tuple[float, float, str]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Complete recipe for one Fig. 14 sweep (hashable and picklable)."""
+
+    mitigations: Tuple[str, ...] = FIG14_MITIGATIONS
+    rdts: Tuple[float, ...] = FIG14_RDTS
+    margins: Tuple[float, ...] = FIG14_MARGINS
+    n_mixes: int = 5
+    window_ns: float = 60_000.0
+    n_banks: int = 8
+    n_rows: int = 1 << 14
+    seed: int = 11
+    engine: str = "fast"
+
+    def __post_init__(self) -> None:
+        if not self.mitigations or not self.rdts or not self.margins:
+            raise ConfigurationError("sweep grid must be non-empty")
+        if self.n_mixes < 1:
+            raise ConfigurationError("sweep needs at least one mix")
+        if self.engine not in ("fast", "reference"):
+            raise ConfigurationError(
+                f"engine must be 'fast' or 'reference', got {self.engine!r}"
+            )
+        # Validate every (rdt, margin) pair eagerly so a bad grid fails
+        # before any simulation runs.
+        for rdt in self.rdts:
+            for margin in self.margins:
+                apply_guardband(rdt, margin)
+
+    def config(self) -> SystemConfig:
+        return SystemConfig(
+            n_banks=self.n_banks,
+            n_rows=self.n_rows,
+            window_ns=self.window_ns,
+            seed=self.seed,
+        )
+
+    def mixes(self) -> List[WorkloadMix]:
+        return standard_mixes(self.n_mixes)
+
+    def cells(self) -> List[Cell]:
+        """Grid cells in deterministic (rdt, margin, mitigation) order."""
+        return [
+            (float(rdt), float(margin), name)
+            for rdt in self.rdts
+            for margin in self.margins
+            for name in self.mitigations
+        ]
+
+
+@dataclass
+class SweepResult:
+    """Per-mix speedups for every cell, plus geomean accessors."""
+
+    spec: SweepSpec
+    #: cell -> {mix name -> normalized weighted speedup}
+    per_mix: Dict[Cell, Dict[str, float]] = field(default_factory=dict)
+
+    def speedup(self, rdt: float, margin: float, name: str) -> float:
+        """Geomean speedup across mixes for one cell (Fig. 14's y-value)."""
+        cell = (float(rdt), float(margin), name)
+        return geometric_mean(list(self.per_mix[cell].values()))
+
+    def table(self) -> Dict[Cell, float]:
+        """All cells' geomean speedups, keyed like the benchmark table."""
+        return {
+            cell: geometric_mean(list(mix_speedups.values()))
+            for cell, mix_speedups in self.per_mix.items()
+        }
+
+    def to_payload(self) -> dict:
+        return {
+            "format": 1,
+            "kind": "fig14-sweep",
+            "spec": asdict(self.spec),
+            "cells": [
+                {
+                    "rdt": rdt,
+                    "margin": margin,
+                    "mitigation": name,
+                    "per_mix": mix_speedups,
+                }
+                for (rdt, margin, name), mix_speedups in self.per_mix.items()
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SweepResult":
+        spec_fields = dict(payload["spec"])
+        for key in ("mitigations", "rdts", "margins"):
+            spec_fields[key] = tuple(spec_fields[key])
+        result = cls(spec=SweepSpec(**spec_fields))
+        for record in payload["cells"]:
+            cell = (
+                float(record["rdt"]),
+                float(record["margin"]),
+                record["mitigation"],
+            )
+            result.per_mix[cell] = {
+                mix: float(value)
+                for mix, value in record["per_mix"].items()
+            }
+        return result
+
+
+class SweepCache:
+    """Content-addressed sweep store (same directory conventions as
+    :class:`repro.core.engine.CampaignCache`)."""
+
+    def __init__(self, root: "Path | str"):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    @classmethod
+    def resolve(
+        cls, cache_dir: "Path | str | None" = None
+    ) -> "Optional[SweepCache]":
+        """Cache at ``cache_dir``, else ``$VRD_CACHE_DIR``, else
+        ``.vrd-cache/``; empty ``VRD_CACHE_DIR`` disables (``None``)."""
+        from repro.core.engine import CACHE_DIR_ENV_VAR, DEFAULT_CACHE_DIR
+
+        if cache_dir is None:
+            env = os.environ.get(CACHE_DIR_ENV_VAR)
+            if env is not None and not env.strip():
+                return None
+            cache_dir = env or DEFAULT_CACHE_DIR
+        return cls(cache_dir)
+
+    def key(self, spec: SweepSpec) -> str:
+        payload = {"format": 1, "kind": "fig14-sweep", "spec": asdict(spec)}
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.blake2b(blob.encode("utf-8"), digest_size=16).hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"fig14-{key}.json"
+
+    def load(self, key: str) -> Optional[SweepResult]:
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("kind") != "fig14-sweep":
+                return None
+            return SweepResult.from_payload(payload)
+        except (ValueError, KeyError, TypeError, OSError, ConfigurationError):
+            return None  # corrupt/unreadable entries are misses
+
+    def store(self, key: str, result: SweepResult) -> None:
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        try:
+            tmp.write_text(json.dumps(result.to_payload(), sort_keys=True))
+            tmp.replace(path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+#: Per-process sweep state: mixes, shared streams, and baselines are built
+#: once per (spec) and serve every cell the worker is dealt.
+_WORKER_STATE: Dict[SweepSpec, tuple] = {}
+
+
+def _worker_state(spec: SweepSpec):
+    state = _WORKER_STATE.get(spec)
+    if state is None:
+        config = spec.config()
+        mixes = spec.mixes()
+        streams: Dict[str, List[CoreStream]] = {}
+        baselines = {}
+        for mix in mixes:
+            baseline_system = MemorySystem(mix, config)
+            if spec.engine == "fast":
+                mix_streams = [
+                    CoreStream(source)
+                    for source in baseline_system._generators
+                ]
+                streams[mix.name] = mix_streams
+                baselines[mix.name] = run_fast(baseline_system, mix_streams)
+            else:
+                baselines[mix.name] = baseline_system.run()
+        state = (config, mixes, streams, baselines)
+        _WORKER_STATE[spec] = state
+    return state
+
+
+def _sweep_cells(args) -> List[Tuple[Cell, Dict[str, float]]]:
+    """Run one shard of grid cells; runs inside a worker process."""
+    spec, cells = args
+    config, mixes, streams, baselines = _worker_state(spec)
+    results = []
+    for rdt, margin, name in cells:
+        threshold = apply_guardband(rdt, margin)
+        mix_speedups: Dict[str, float] = {}
+        for mix in mixes:
+            mitigation = build_mitigation(name, threshold)
+            system = MemorySystem(mix, config, mitigation)
+            if spec.engine == "fast":
+                result = run_fast(system, streams[mix.name])
+            else:
+                result = system.run()
+            mix_speedups[mix.name] = normalized_weighted_speedup(
+                result, baselines[mix.name]
+            )
+        results.append(((rdt, margin, name), mix_speedups))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+
+
+def run_sweep(
+    spec: Optional[SweepSpec] = None,
+    n_jobs: Optional[int] = None,
+    cache: Optional[SweepCache] = None,
+) -> SweepResult:
+    """Run (or reload) one Fig. 14 sweep.
+
+    Args:
+        spec: Grid recipe; defaults to the paper's Fig. 14 grid over 5
+            mixes.
+        n_jobs: Worker processes; ``None`` resolves via ``$VRD_JOBS``
+            (default 1). One job runs inline without a pool. Results are
+            bit-identical for any job count.
+        cache: Optional :class:`SweepCache`; hits skip simulation entirely.
+    """
+    from repro.core.engine import resolve_jobs
+
+    spec = spec or SweepSpec()
+    n_jobs = resolve_jobs(n_jobs)
+
+    cache_key = None
+    if cache is not None:
+        cache_key = cache.key(spec)
+        cached = cache.load(cache_key)
+        if cached is not None:
+            return cached
+
+    cells = spec.cells()
+    if n_jobs == 1 or len(cells) == 1:
+        partials = [_sweep_cells((spec, cells))]
+    else:
+        shards = [cells[start::n_jobs] for start in range(n_jobs)]
+        shards = [shard for shard in shards if shard]
+        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+            partials = list(
+                pool.map(_sweep_cells, [(spec, shard) for shard in shards])
+            )
+
+    by_cell = {cell: speedups for partial in partials
+               for cell, speedups in partial}
+    result = SweepResult(
+        spec=spec,
+        per_mix={cell: by_cell[cell] for cell in cells},
+    )
+
+    if cache is not None and cache_key is not None:
+        cache.store(cache_key, result)
+    return result

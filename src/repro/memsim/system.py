@@ -44,12 +44,17 @@ class SystemConfig:
     base_ipc: float = 2.0
     refresh_enabled: bool = True
     seed: int = 11
+    #: Mitigation tracking-window period (tREFW). Overridable so tests can
+    #: exercise window-boundary behavior without 32 ms simulations.
+    t_refw_ns: float = _T_REFW
 
     def __post_init__(self) -> None:
         if self.n_banks < 1 or self.n_rows < 2:
             raise SimulationError("need at least 1 bank and 2 rows")
         if self.window_ns <= 0:
             raise SimulationError("window must be positive")
+        if self.t_refw_ns <= 0:
+            raise SimulationError("tREFW must be positive")
 
 
 @dataclass
@@ -136,7 +141,12 @@ class MemorySystem:
         ]
 
     def run(self) -> SimulationResult:
-        """Simulate one window and return per-core request throughput."""
+        """Simulate one window and return per-core request throughput.
+
+        This is the *reference* engine: one Python iteration per request.
+        :meth:`run_fast` produces bit-identical results through the
+        epoch-batched core in :mod:`repro.memsim.fastcore`.
+        """
         config = self.config
         arrivals = [0.0] * 4  # next request arrival per core
         completed = [0] * 4
@@ -146,7 +156,7 @@ class MemorySystem:
         bus_free = 0.0
         rank_blocked_until = 0.0
         next_ref = _T_REFI if config.refresh_enabled else float("inf")
-        next_window = _T_REFW
+        next_window = config.t_refw_ns
 
         while True:
             core = min(range(4), key=lambda c: arrivals[c])
@@ -167,7 +177,7 @@ class MemorySystem:
             # Tracking-window boundary for the mitigation.
             if self.mitigation is not None and start >= next_window:
                 self.mitigation.on_refresh_window(start)
-                next_window += _T_REFW
+                next_window += config.t_refw_ns
 
             needs_act = bank.open_row != row
             if needs_act:
@@ -231,3 +241,17 @@ class MemorySystem:
             result.preventive_refreshes = self.mitigation.preventive_refreshes
             result.rank_blocks = self.mitigation.rank_blocks
         return result
+
+    def run_fast(self) -> SimulationResult:
+        """Simulate one window through the epoch-batched fast core.
+
+        Bit-identical to :meth:`run` on a freshly constructed system —
+        request counts, latency sums, hit/miss counts, preventive
+        refreshes, and rank blocks all match the reference loop exactly
+        (``tests/memsim/test_fastcore.py`` asserts this across the Fig. 14
+        grid). Like :meth:`run`, it consumes the system's address streams,
+        so each :class:`MemorySystem` instance should be run once.
+        """
+        from repro.memsim.fastcore import run_fast
+
+        return run_fast(self)

@@ -112,8 +112,22 @@ def standard_mixes(count: int = 15, seed: int = 7) -> List[WorkloadMix]:
     return mixes
 
 
+#: Addresses generated per RNG batch. Fixed so the stream is identical no
+#: matter how it is consumed (``next_address`` one at a time, or ``take``
+#: in arbitrary slices): draws always happen in whole-chunk batches.
+ADDRESS_CHUNK = 1024
+
+
 class AddressGenerator:
-    """Per-core address stream with row locality and hot-row bias."""
+    """Per-core address stream with row locality and hot-row bias.
+
+    Addresses are generated in vectorized chunks of :data:`ADDRESS_CHUNK`
+    (locality coin flips, bank picks, and Zipf row picks each batched into
+    one RNG call) and served from an internal buffer. ``next_address``
+    pops one address; :meth:`take` hands out whole arrays for the fast
+    simulation core. Both views consume the same buffer, so the stream a
+    core sees is bit-identical whichever API drives it.
+    """
 
     def __init__(
         self,
@@ -137,21 +151,90 @@ class AddressGenerator:
         weights = 1.0 / ranks**1.3
         self._rows = base + self.rng.permutation(workload.hot_rows)
         self._weights = weights / weights.sum()
+        self._cum_weights = np.cumsum(self._weights)
         # Hot pages concentrate on a few banks; overlapping palettes
         # between cores also produce the row-buffer ping-pong that makes
         # real multiprogrammed traces re-activate the same rows heavily.
         palette = min(3, n_banks)
         self._banks = self.rng.choice(n_banks, size=palette, replace=False)
-        self._last: "tuple[int, int] | None" = None
+        self._last_bank = -1
+        self._last_row = -1
+        self._primed = False
+        self._buf_banks = np.empty(0, dtype=np.int64)
+        self._buf_rows = np.empty(0, dtype=np.int64)
+        self._cursor = 0
+
+    def _refill(self) -> None:
+        """Generate the next :data:`ADDRESS_CHUNK` addresses in one batch."""
+        n = ADDRESS_CHUNK
+        rng = self.rng
+        repeat = rng.random(n) < self.workload.row_locality
+        if not self._primed:
+            repeat[0] = False  # the very first request has nothing to reuse
+        fresh = np.flatnonzero(~repeat)
+        m = fresh.size
+        if m:
+            bank_picks = self._banks[rng.integers(0, self._banks.size, size=m)]
+            row_draws = rng.random(m)
+            row_idx = np.minimum(
+                np.searchsorted(self._cum_weights, row_draws, side="right"),
+                self._rows.size - 1,
+            )
+            row_picks = self._rows[row_idx]
+        else:
+            bank_picks = np.empty(0, dtype=np.int64)
+            row_picks = np.empty(0, dtype=np.int64)
+        # Forward-fill: each repeat reuses the most recent fresh address;
+        # repeats before the chunk's first fresh pick carry the previous
+        # chunk's last address.
+        governor = np.full(n, -1, dtype=np.int64)
+        governor[fresh] = np.arange(m)
+        np.maximum.accumulate(governor, out=governor)
+        carried = governor < 0
+        safe = np.maximum(governor, 0)
+        if m:
+            banks = np.where(carried, self._last_bank, bank_picks[safe])
+            rows = np.where(carried, self._last_row, row_picks[safe])
+        else:
+            banks = np.full(n, self._last_bank, dtype=np.int64)
+            rows = np.full(n, self._last_row, dtype=np.int64)
+        self._buf_banks = banks.astype(np.int64, copy=False)
+        self._buf_rows = rows.astype(np.int64, copy=False)
+        self._cursor = 0
+        self._last_bank = int(banks[-1])
+        self._last_row = int(rows[-1])
+        self._primed = True
 
     def next_address(self) -> "tuple[int, int]":
         """(bank, row) of the next LLC miss."""
-        if (
-            self._last is not None
-            and self.rng.random() < self.workload.row_locality
-        ):
-            return self._last
-        bank = int(self._banks[self.rng.integers(len(self._banks))])
-        row = int(self._rows[self.rng.choice(len(self._rows), p=self._weights)])
-        self._last = (bank, row)
-        return self._last
+        if self._cursor >= self._buf_banks.size:
+            self._refill()
+        cursor = self._cursor
+        self._cursor = cursor + 1
+        return int(self._buf_banks[cursor]), int(self._buf_rows[cursor])
+
+    def take(self, n: int) -> "tuple[np.ndarray, np.ndarray]":
+        """The next ``n`` addresses as ``(banks, rows)`` arrays.
+
+        Consumes the same buffered stream as :meth:`next_address`, so
+        interleaving the two APIs (or choosing either exclusively) yields
+        identical addresses.
+        """
+        if n < 1:
+            raise ConfigurationError("take needs at least one address")
+        banks_parts = []
+        rows_parts = []
+        remaining = n
+        while remaining > 0:
+            if self._cursor >= self._buf_banks.size:
+                self._refill()
+            grab = min(remaining, self._buf_banks.size - self._cursor)
+            banks_parts.append(
+                self._buf_banks[self._cursor:self._cursor + grab]
+            )
+            rows_parts.append(self._buf_rows[self._cursor:self._cursor + grab])
+            self._cursor += grab
+            remaining -= grab
+        if len(banks_parts) == 1:
+            return banks_parts[0].copy(), rows_parts[0].copy()
+        return np.concatenate(banks_parts), np.concatenate(rows_parts)

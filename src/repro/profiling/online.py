@@ -16,18 +16,27 @@ fast it approaches the long-run minimum and what that costs.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Deque, Dict, Iterable, List, Optional
 
 from repro.core.config import TestConfig
 from repro.core.rdt import FastRdtMeter, HammerSweep
 from repro.dram.module import DramModule
 from repro.errors import ConfigurationError, MeasurementError
 
+#: Default per-row history ring size. Online runs measure indefinitely while
+#: only min/count/last feed decisions, so retention must be bounded.
+DEFAULT_HISTORY_LIMIT = 4096
+
 
 @dataclass
 class RowProfile:
-    """Live profiling state of one row."""
+    """Live profiling state of one row.
+
+    ``history`` is a ring buffer: once full, appending evicts the oldest
+    measurement, keeping memory constant over arbitrarily long runs.
+    """
 
     row: int
     sweep: Optional[HammerSweep] = None
@@ -35,7 +44,9 @@ class RowProfile:
     min_rdt: float = math.inf
     last_rdt: float = math.nan
     failed_sweeps: int = 0
-    history: List[float] = field(default_factory=list)
+    history: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=DEFAULT_HISTORY_LIMIT)
+    )
 
     @property
     def has_estimate(self) -> bool:
@@ -57,8 +68,11 @@ class OnlineRdtProfiler:
             spends half the budget re-measuring the row currently holding
             the global minimum (the row that defines the mitigation
             threshold).
-        keep_history: Retain every measured value per row (memory-hungry
-            for long runs; useful for analysis).
+        keep_history: Retain recent measured values per row (useful for
+            analysis). Retention is a ring buffer of ``history_limit``
+            entries per row, so long runs stay memory-bounded.
+        history_limit: Ring size of each row's history. ``None`` keeps an
+            unbounded list (only for short analysis runs).
     """
 
     def __init__(
@@ -69,18 +83,25 @@ class OnlineRdtProfiler:
         bank: int = 0,
         strategy: str = "round_robin",
         keep_history: bool = False,
+        history_limit: Optional[int] = DEFAULT_HISTORY_LIMIT,
     ):
         if strategy not in ("round_robin", "focus_min"):
             raise ConfigurationError(f"unknown strategy {strategy!r}")
+        if history_limit is not None and history_limit < 1:
+            raise ConfigurationError(
+                f"history_limit must be positive, got {history_limit}"
+            )
         self.module = module
         self.config = config
         self.bank = bank
         self.strategy = strategy
         self.keep_history = keep_history
+        self.history_limit = history_limit
         self._meter = FastRdtMeter(module, bank)
         self._condition = config.condition(module.timing)
         self._profiles: Dict[int, RowProfile] = {
-            row: RowProfile(row) for row in rows
+            row: RowProfile(row, history=deque(maxlen=history_limit))
+            for row in rows
         }
         if not self._profiles:
             raise ConfigurationError("profiler needs at least one row")

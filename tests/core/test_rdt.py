@@ -129,3 +129,30 @@ class TestFindVictim:
         meter = FastRdtMeter(module)
         with pytest.raises(MeasurementError):
             find_victim(meter, rows=range(10), threshold=1.0)
+
+    def test_batched_path_matches_per_row_scan(self, module):
+        # The FastRdtMeter route goes through guess_rdt_batch; it must
+        # return the same first qualifying row and the same guess as a
+        # naive per-row guess_rdt scan.
+        meter = FastRdtMeter(module)
+        threshold = 40_000.0
+        guess, victim = find_victim(
+            meter, rows=range(50), config=REF, threshold=threshold
+        )
+        for row in range(50):
+            expected = meter.guess_rdt(row, REF)
+            if expected < threshold:
+                assert victim == row
+                assert guess == expected
+                break
+
+    def test_batching_spans_chunk_boundaries(self, module, monkeypatch):
+        # Force tiny chunks so a victim beyond the first chunk exercises
+        # the chunk loop; the answer must not change.
+        import repro.core.rdt as rdt_module
+
+        meter = FastRdtMeter(module)
+        full = find_victim(meter, rows=range(50), threshold=40_000)
+        monkeypatch.setattr(rdt_module, "FIND_VICTIM_CHUNK", 7)
+        chunked = find_victim(meter, rows=range(50), threshold=40_000)
+        assert chunked == full

@@ -1,0 +1,152 @@
+"""Fast-core equivalence: run_fast is bit-identical to MemorySystem.run.
+
+The contract under test (see :mod:`repro.memsim.fastcore`): same requests
+per core, same latency sums (same floats), same hit/miss split, same
+preventive-refresh and rank-block counts — for every mitigation and for
+custom address sources.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.memsim import CoreStream, MemorySystem, SystemConfig, standard_mixes
+from repro.memsim.fastcore import run_fast
+from repro.memsim.tracefile import TracePlayer, TraceRecord
+from repro.mitigations import (
+    AdaptiveMitigation,
+    BlockHammer,
+    Graphene,
+    apply_guardband,
+    build_mitigation,
+)
+from repro.profiling.policy import StaticThresholdPolicy
+
+MIXES = standard_mixes(2)
+CONFIG = SystemConfig(window_ns=20_000.0)
+
+
+def fingerprint(result):
+    return (
+        result.requests_per_core,
+        result.total_latency_per_core,
+        result.row_hits,
+        result.row_misses,
+        result.preventive_refreshes,
+        result.rank_blocks,
+    )
+
+
+def assert_equivalent(mix, config, build):
+    reference = MemorySystem(mix, config, build()).run()
+    fast = MemorySystem(mix, config, build()).run_fast()
+    assert fingerprint(fast) == fingerprint(reference)
+    return reference
+
+
+@pytest.mark.parametrize("mix", MIXES, ids=lambda m: m.name)
+@pytest.mark.parametrize("name", ["Graphene", "PRAC", "PARA", "MINT"])
+@pytest.mark.parametrize("rdt", [1024, 128])
+def test_fig14_grid_equivalence(mix, name, rdt):
+    reference = assert_equivalent(
+        mix, CONFIG, lambda: build_mitigation(name, rdt)
+    )
+    if rdt == 128 and name in ("PARA", "MINT"):
+        # The frequent-action mechanisms must actually exercise preventive
+        # logic at this window (trackers only cross at longer horizons;
+        # test_window_reset_equivalence covers their action paths).
+        assert reference.preventive_refreshes + reference.rank_blocks > 0
+
+
+@pytest.mark.parametrize("mix", MIXES, ids=lambda m: m.name)
+def test_baseline_equivalence(mix):
+    assert_equivalent(mix, CONFIG, lambda: None)
+
+
+@pytest.mark.parametrize("name", ["Graphene", "PRAC", "MINT"])
+def test_guardband_threshold_equivalence(name):
+    # Non-integer thresholds (margin-adjusted RDTs) hit the same fast paths.
+    threshold = apply_guardband(128, 0.10)  # 115.2
+    assert_equivalent(MIXES[0], CONFIG, lambda: build_mitigation(name, threshold))
+
+
+@pytest.mark.parametrize("rdt", [1024, 128])
+def test_blockhammer_equivalence(rdt):
+    assert_equivalent(MIXES[0], CONFIG, lambda: BlockHammer(rdt))
+
+
+def test_blockhammer_throttle_counter_writeback():
+    reference = MemorySystem(MIXES[0], CONFIG, BlockHammer(48))
+    reference.run()
+    assert reference.mitigation.throttled_activations > 0
+    fast = MemorySystem(MIXES[0], CONFIG, BlockHammer(48))
+    fast.run_fast()
+    assert (
+        fast.mitigation.throttled_activations
+        == reference.mitigation.throttled_activations
+    )
+
+
+def test_adaptive_mitigation_generic_path():
+    # AdaptiveMitigation has no array batcher; it runs through the exact
+    # per-activation generic path and must still match.
+    def build():
+        return AdaptiveMitigation(
+            Graphene, StaticThresholdPolicy(256.0), check_every=512
+        )
+
+    assert_equivalent(MIXES[0], CONFIG, build)
+
+
+@pytest.mark.parametrize("name", ["Graphene", "MINT", "PRAC"])
+def test_window_reset_equivalence(name):
+    # A tREFW small enough to fire several tracking-window resets per run,
+    # and a threshold low enough that the array-backed tracker tables
+    # actually cross and issue preventive actions between resets.
+    config = SystemConfig(window_ns=20_000.0, t_refw_ns=4_000.0)
+    reference = assert_equivalent(
+        MIXES[0], config, lambda: build_mitigation(name, 12)
+    )
+    assert reference.preventive_refreshes + reference.rank_blocks > 0
+
+
+def test_trace_replay_equivalence():
+    records = []
+    for i in range(200):
+        for core in range(4):
+            records.append(
+                TraceRecord(core=core, bank=(i * 7 + core) % 8, row=(i * 3) % 40)
+            )
+    mix = MIXES[0]
+
+    def players():
+        return [TracePlayer(records, core) for core in range(4)]
+
+    reference = MemorySystem(
+        mix, CONFIG, Graphene(8), address_sources=players()
+    ).run()
+    fast = MemorySystem(
+        mix, CONFIG, Graphene(8), address_sources=players()
+    ).run_fast()
+    assert fingerprint(fast) == fingerprint(reference)
+    assert reference.preventive_refreshes > 0
+
+
+def test_shared_streams_match_fresh_runs():
+    # One materialized stream set serves many runs of a mix (the sweep's
+    # sharing pattern) without perturbing any of them.
+    mix = MIXES[0]
+    streams = [
+        CoreStream(source)
+        for source in MemorySystem(mix, CONFIG)._generators
+    ]
+    for build in (lambda: None, lambda: Graphene(128), lambda: build_mitigation("MINT", 96)):
+        shared = run_fast(MemorySystem(mix, CONFIG, build()), streams)
+        fresh = MemorySystem(mix, CONFIG, build()).run()
+        assert fingerprint(shared) == fingerprint(fresh)
+
+
+def test_run_fast_validates_stream_count():
+    system = MemorySystem(MIXES[0], CONFIG)
+    streams = [CoreStream(source) for source in system._generators]
+    with pytest.raises(SimulationError):
+        run_fast(system, streams[:3])

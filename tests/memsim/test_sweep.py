@@ -1,0 +1,109 @@
+"""Tests for the sharded, cached Fig. 14 sweep runner."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsim.sweep import SweepCache, SweepResult, SweepSpec, run_sweep
+
+#: A grid small enough for test runtimes but with >1 of everything.
+SPEC = SweepSpec(
+    mitigations=("Graphene", "MINT"),
+    rdts=(128.0,),
+    margins=(0.0, 0.50),
+    n_mixes=2,
+    window_ns=10_000.0,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep(SPEC)
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        SweepSpec(mitigations=())
+    with pytest.raises(ConfigurationError):
+        SweepSpec(n_mixes=0)
+    with pytest.raises(ConfigurationError):
+        SweepSpec(engine="turbo")
+    with pytest.raises(ConfigurationError):
+        SweepSpec(margins=(1.5,))  # invalid guardband fails eagerly
+
+
+def test_cells_cover_grid_in_order():
+    cells = SPEC.cells()
+    assert cells == [
+        (128.0, 0.0, "Graphene"),
+        (128.0, 0.0, "MINT"),
+        (128.0, 0.50, "Graphene"),
+        (128.0, 0.50, "MINT"),
+    ]
+
+
+def test_sweep_shape_and_values(sweep):
+    assert set(sweep.per_mix) == set(SPEC.cells())
+    for cell, mix_speedups in sweep.per_mix.items():
+        assert set(mix_speedups) == {"mix00", "mix01"}
+        for value in mix_speedups.values():
+            assert 0.0 < value <= 1.5
+    # Geomean accessor agrees with the table view.
+    table = sweep.table()
+    for rdt, margin, name in SPEC.cells():
+        assert table[(rdt, margin, name)] == sweep.speedup(rdt, margin, name)
+
+
+def test_engines_bit_identical(sweep):
+    reference = run_sweep(
+        replace(SPEC, engine="reference")
+    )
+    assert reference.per_mix == sweep.per_mix
+
+
+def test_jobs_invariance(sweep):
+    sharded = run_sweep(SPEC, n_jobs=2)
+    assert sharded.per_mix == sweep.per_mix
+
+
+def test_cache_roundtrip(sweep, tmp_path):
+    cache = SweepCache(tmp_path)
+    first = run_sweep(SPEC, cache=cache)
+    assert first.per_mix == sweep.per_mix
+    assert cache.load(cache.key(SPEC)) is not None
+    # A hit returns the stored speedups without recomputing.
+    second = run_sweep(SPEC, cache=cache)
+    assert second.per_mix == sweep.per_mix
+    # A different recipe is a clean miss.
+    other = replace(SPEC, window_ns=12_000.0)
+    assert cache.load(cache.key(other)) is None
+
+
+def test_cache_corruption_degrades_to_miss(sweep, tmp_path):
+    cache = SweepCache(tmp_path)
+    run_sweep(SPEC, cache=cache)
+    path = cache.path_for(cache.key(SPEC))
+    path.write_text("{not json")
+    assert cache.load(cache.key(SPEC)) is None
+    recomputed = run_sweep(SPEC, cache=cache)  # recomputes and re-stores
+    assert recomputed.per_mix == sweep.per_mix
+    assert cache.load(cache.key(SPEC)) is not None
+
+
+def test_payload_roundtrip(sweep):
+    payload = json.loads(json.dumps(sweep.to_payload()))
+    restored = SweepResult.from_payload(payload)
+    assert restored.spec == sweep.spec
+    assert restored.per_mix == sweep.per_mix
+
+
+def test_cache_resolve_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("VRD_CACHE_DIR", str(tmp_path / "env-cache"))
+    cache = SweepCache.resolve()
+    assert cache is not None and cache.root == tmp_path / "env-cache"
+    monkeypatch.setenv("VRD_CACHE_DIR", "")
+    assert SweepCache.resolve() is None
+    explicit = SweepCache.resolve(tmp_path / "explicit")
+    assert explicit is not None and explicit.root == tmp_path / "explicit"

@@ -86,6 +86,36 @@ class TestProfiler:
         profiler.idle_tick(budget_ns=5e6)
         assert any(p.history for p in profiler.profile().values())
 
+    def test_history_is_bounded_ring(self, module, reference_config):
+        profiler = make_profiler(
+            module, reference_config, keep_history=True, history_limit=3
+        )
+        for _ in range(8 * len(ROWS)):
+            profiler.idle_tick(budget_ns=1.0)  # one measurement per tick
+        for profile in profiler.profile().values():
+            successes = profile.n_measurements - profile.failed_sweeps
+            assert len(profile.history) == min(3, successes)
+            # The ring keeps the most recent value, not the oldest.
+            if successes and not math.isnan(profile.last_rdt):
+                assert profile.history[-1] == profile.last_rdt
+
+    def test_history_unbounded_when_disabled(self, module, reference_config):
+        profiler = make_profiler(
+            module, reference_config, keep_history=True, history_limit=None
+        )
+        for _ in range(6 * len(ROWS)):
+            profiler.idle_tick(budget_ns=1.0)
+        totals = [
+            p.n_measurements - p.failed_sweeps
+            for p in profiler.profile().values()
+        ]
+        lengths = [len(p.history) for p in profiler.profile().values()]
+        assert lengths == totals
+
+    def test_history_limit_validation(self, module, reference_config):
+        with pytest.raises(ConfigurationError):
+            make_profiler(module, reference_config, history_limit=0)
+
     def test_validation(self, module, reference_config):
         with pytest.raises(ConfigurationError):
             OnlineRdtProfiler(module, [], reference_config)
