@@ -63,7 +63,7 @@ def _serial_route():
         block_rows=BLOCK_ROWS, per_block=ROWS_PER_BLOCK, batched=False,
     )
     return Campaign(
-        module, [config], n_measurements=N_MEASUREMENTS
+        module, [config], n_measurements=N_MEASUREMENTS, batched=False
     ).run(rows)
 
 

@@ -1,0 +1,129 @@
+"""Device-model perf baseline: bulk latent-series generation.
+
+Times three routes through the same bulk query — every latent RDT series
+of a bank's row set under one condition (the paper's campaigns need 1000
+measurements per row per configuration):
+
+* **scalar stepping** — the sequential device clock:
+  ``begin_measurement`` + ``current_threshold`` per measurement. This is
+  the route campaign measurement used before the fast path existed; it is
+  timed on ``VRD_BENCH_FAULTS_STEP_ROWS`` rows and extrapolated to the
+  full bank (``scalar_stepping_bank_s``).
+* **series loop** — per-row :meth:`RowVrdProcess.latent_series`, stacked.
+  Bit-identical to the fast route, so it doubles as the equality oracle.
+* **fast bulk** — :meth:`ModuleFaultModel.latent_series_bank` through the
+  packed :class:`repro.dram.fastfaults.BankVrdState`.
+
+Every route builds a fresh :class:`ModuleFaultModel`, so timings include
+row construction. Results land in ``BENCH_faults.json`` at the repo root.
+
+Scale knobs: ``VRD_BENCH_FAULTS_ROWS`` (bank rows, default 128),
+``VRD_BENCH_FAULTS_MEASUREMENTS`` (series length, default 1000),
+``VRD_BENCH_FAULTS_STEP_ROWS`` (stepping-route rows, default 8),
+``VRD_BENCH_FAULTS_REPS`` (timing repetitions, default 2),
+``VRD_BENCH_FAULTS_MIN_SPEEDUP`` (asserted stepping speedup, default 3).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.dram.faults import Condition, ModuleFaultModel, VrdModelParams
+
+N_ROWS = int(os.environ.get("VRD_BENCH_FAULTS_ROWS", 128))
+N_MEASUREMENTS = int(os.environ.get("VRD_BENCH_FAULTS_MEASUREMENTS", 1000))
+STEP_ROWS = min(N_ROWS, int(os.environ.get("VRD_BENCH_FAULTS_STEP_ROWS", 8)))
+REPS = int(os.environ.get("VRD_BENCH_FAULTS_REPS", 2))
+MIN_SPEEDUP = float(os.environ.get("VRD_BENCH_FAULTS_MIN_SPEEDUP", 3.0))
+
+ROW_BITS = 65_536
+SEED = 123
+MODULE_ID = "BENCH"
+BANK = 0
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+
+
+def _model() -> ModuleFaultModel:
+    return ModuleFaultModel(
+        VrdModelParams(mean_rdt=20_000.0), ROW_BITS, SEED, MODULE_ID
+    )
+
+
+def _condition() -> Condition:
+    return Condition("checkered0", 35.0, 50.0)
+
+
+def _stepping_route() -> np.ndarray:
+    model = _model()
+    condition = _condition()
+    thresholds = np.empty((STEP_ROWS, N_MEASUREMENTS))
+    for index in range(STEP_ROWS):
+        process = model.process(BANK, index)
+        for measurement in range(N_MEASUREMENTS):
+            process.begin_measurement(condition)
+            thresholds[index, measurement] = process.current_threshold(
+                condition
+            )
+    return thresholds
+
+
+def _series_loop_route() -> np.ndarray:
+    model = _model()
+    condition = _condition()
+    return np.stack(
+        [
+            model.process(BANK, row).latent_series(condition, N_MEASUREMENTS)
+            for row in range(N_ROWS)
+        ]
+    )
+
+
+def _fast_route() -> np.ndarray:
+    model = _model()
+    return model.latent_series_bank(
+        BANK, list(range(N_ROWS)), _condition(), N_MEASUREMENTS
+    )
+
+
+def _best_of(route):
+    best, result = None, None
+    for _ in range(max(1, REPS)):
+        t0 = time.perf_counter()
+        result = route()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def test_fast_bulk_series_speedup():
+    stepping_s, _ = _best_of(_stepping_route)
+    series_loop_s, reference = _best_of(_series_loop_route)
+    fast_s, fast = _best_of(_fast_route)
+
+    # The fast path must be bit-identical to the scalar series loop.
+    np.testing.assert_array_equal(fast, reference)
+
+    stepping_bank_s = stepping_s * (N_ROWS / STEP_ROWS)
+    record = {
+        "rows": N_ROWS,
+        "measurements": N_MEASUREMENTS,
+        "step_rows": STEP_ROWS,
+        "reps": REPS,
+        "scalar_stepping_s": round(stepping_s, 4),
+        "scalar_stepping_bank_s": round(stepping_bank_s, 4),
+        "series_loop_s": round(series_loop_s, 4),
+        "fast_bulk_s": round(fast_s, 4),
+        "stepping_speedup": round(stepping_bank_s / fast_s, 2),
+        "series_loop_speedup": round(series_loop_s / fast_s, 2),
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nfaults perf: {json.dumps(record)}")
+
+    assert record["stepping_speedup"] >= MIN_SPEEDUP
+    assert record["series_loop_speedup"] >= 1.0

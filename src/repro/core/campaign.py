@@ -254,6 +254,12 @@ class Campaign:
         set_temperature: Optional callback (e.g. the Bender host's
             temperature control) invoked before measuring each
             configuration; defaults to setting the module directly.
+        batched: Route each configuration's rows through
+            :meth:`~repro.core.rdt.FastRdtMeter.measure_series_batch`
+            (the packed device fast path) instead of the per-row
+            guess + measure loop. Bit-identical either way;
+            ``batched=False`` keeps the reference loop (the perf
+            benchmarks use it as the scalar baseline).
     """
 
     def __init__(
@@ -263,6 +269,7 @@ class Campaign:
         n_measurements: int = 1000,
         bank: int = 0,
         set_temperature: Optional[Callable[[float], None]] = None,
+        batched: bool = True,
     ):
         if n_measurements < 2:
             raise MeasurementError("campaigns need at least 2 measurements")
@@ -270,6 +277,7 @@ class Campaign:
         self.configs = list(configs)
         self.n_measurements = n_measurements
         self.bank = bank
+        self.batched = batched
         self._set_temperature = set_temperature or module.set_temperature
         self._meter = FastRdtMeter(module, bank)
 
@@ -295,13 +303,32 @@ class Campaign:
         }
         for config in self.configs:
             self._set_temperature(config.temperature_c)
+            if self.batched:
+                # One bulk probe + bulk latent-series query per bank; the
+                # per-bank iterators hand results back in pair order
+                # (duplicate pairs re-measure identically — streams are
+                # deterministic — so positional pairing is exact).
+                per_bank: Dict[int, List[int]] = {}
+                for bank, row in pairs:
+                    per_bank.setdefault(bank, []).append(row)
+                queues = {
+                    bank: iter(
+                        meters[bank].measure_series_batch(
+                            bank_rows, config, self.n_measurements
+                        )
+                    )
+                    for bank, bank_rows in per_bank.items()
+                }
             for bank, row in pairs:
-                meter = meters[bank]
-                guess = meter.guess_rdt(row, config)
-                sweep = HammerSweep.from_guess(guess)
-                series = meter.measure_series(
-                    row, config, self.n_measurements, sweep=sweep
-                )
+                if self.batched:
+                    series = next(queues[bank])
+                else:
+                    meter = meters[bank]
+                    guess = meter.guess_rdt(row, config)
+                    sweep = HammerSweep.from_guess(guess)
+                    series = meter.measure_series(
+                        row, config, self.n_measurements, sweep=sweep
+                    )
                 if series.n_failed_sweeps == len(series):
                     # Row never flipped inside the sweep under this
                     # configuration; record nothing, as the paper's test

@@ -25,6 +25,9 @@ import numpy as np
 from repro.core.config import TestConfig
 from repro.core.patterns import CHECKERED0, DataPattern  # noqa: F401 (DataPattern re-exported for callers)
 from repro.core.series import RdtSeries
+# Imported for the side effect: the engine's forked workers inherit the
+# loaded module instead of each paying the import lazily per pool.
+from repro.dram import fastfaults  # noqa: F401
 from repro.dram.module import DramModule
 from repro.errors import MeasurementError
 
@@ -278,6 +281,52 @@ class FastRdtMeter:
             config_label=config.label(),
             grid_step=sweep.step,
         )
+
+    def measure_series_batch(
+        self,
+        victims: Sequence[int],
+        config: TestConfig,
+        n: int,
+        stream: str = "series",
+        guess_repeats: int = 10,
+    ) -> List[RdtSeries]:
+        """One :meth:`measure_series` per victim, through the bulk device
+        fast path.
+
+        Bit-identical to looping ``guess_rdt`` + ``measure_series`` per
+        victim: guesses come from the batched probe mirror and latent
+        series from the packed :class:`~repro.dram.fastfaults.BankVrdState`,
+        both stream-exact against the scalar
+        :class:`~repro.dram.faults.RowVrdProcess` route. This is what the
+        campaign loop and the engine workers consume.
+        """
+        victims = list(victims)
+        if not victims:
+            return []
+        condition = self._condition(config)
+        mapping = self.module.bank(self.bank).mapping
+        physical = [mapping.to_physical(victim) for victim in victims]
+        model = self.module.fault_model
+        guesses = model.probe_guess_means(
+            self.bank, physical, condition, repeats=guess_repeats
+        )
+        latent = model.latent_series_bank(
+            self.bank, physical, condition, n, stream=stream
+        )
+        series: List[RdtSeries] = []
+        for index, victim in enumerate(victims):
+            sweep = HammerSweep.from_guess(float(guesses[index]))
+            series.append(
+                RdtSeries(
+                    sweep.quantize(latent[index]),
+                    module_id=self.module.module_id,
+                    bank=self.bank,
+                    row=victim,
+                    config_label=config.label(),
+                    grid_step=sweep.step,
+                )
+            )
+        return series
 
 
 def guess_rdt(meter, victim: int, config: TestConfig, repeats: int = 10) -> float:

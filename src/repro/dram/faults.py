@@ -29,6 +29,7 @@ Two consumption paths share this model and agree by construction:
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -136,7 +137,44 @@ def _geometric_search_mirror_ok() -> bool:
     return True
 
 
-_BULK_UNIFORM_OK = _geometric_search_mirror_ok()
+#: Environment override for the mirror self-probe: ``"0"`` forces the
+#: slow-but-safe fallback (every geometric draw goes through
+#: ``rng.geometric``), ``"1"`` trusts the mirror without probing, anything
+#: else (or unset) probes lazily on first use.
+GEOMETRIC_MIRROR_ENV_VAR = "VRD_GEOMETRIC_MIRROR"
+
+#: Lazily filled probe result; ``None`` means "not yet evaluated". The
+#: probe costs ~1 ms, which is irrelevant once but used to run at *import*
+#: time in every process — including campaign-engine workers and test
+#: collection — whether or not a fast path ever executed.
+_MIRROR_OK: Optional[bool] = None
+
+
+def geometric_mirror_ok() -> bool:
+    """Whether the geometric-sampler mirror is exact, probed once per
+    process (see :func:`_geometric_search_mirror_ok`) and cached.
+
+    ``VRD_GEOMETRIC_MIRROR=0`` skips the probe and disables the mirror
+    (tests use this to exercise the fallback paths); ``=1`` skips the
+    probe and enables it.
+    """
+    global _MIRROR_OK
+    if _MIRROR_OK is None:
+        override = os.environ.get(GEOMETRIC_MIRROR_ENV_VAR, "").strip()
+        if override == "0":
+            _MIRROR_OK = False
+        elif override == "1":
+            _MIRROR_OK = True
+        else:
+            _MIRROR_OK = _geometric_search_mirror_ok()
+    return _MIRROR_OK
+
+
+def __getattr__(name: str):
+    # Compatibility alias for the pre-lazy module constant.
+    if name == "_BULK_UNIFORM_OK":
+        return geometric_mirror_ok()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def classify_pattern(victim_byte: int, aggressor_byte: int) -> str:
@@ -760,7 +798,7 @@ def probe_guess_means(
     else:
         charge_mode = 4
 
-    use_fast = repeats <= 16 and _BULK_UNIFORM_OK
+    use_fast = repeats <= 16 and geometric_mirror_ok()
     states_buf = np.empty(64, dtype=bool)
     run_cums_buf = np.empty((64, repeats), dtype=np.int64)
     guesses = np.empty(len(rows))
@@ -1138,6 +1176,12 @@ class ModuleFaultModel:
         self.module_id = module_id
         self._true_cell_lookup = true_cell_lookup
         self._processes: Dict[Tuple[int, int], RowVrdProcess] = {}
+        # Per-bank packed fast state (repro.dram.fastfaults), one entry per
+        # bank keyed by the exact rows tuple it was built for: campaigns
+        # iterate configs over a fixed row set, so the single entry hits
+        # across the whole config-major loop while staying bounded in
+        # long-lived engine workers.
+        self._bank_states: Dict[int, Tuple[Tuple[int, ...], object]] = {}
 
     def process(self, bank: int, row: int) -> RowVrdProcess:
         """The (lazily created) VRD process of one row."""
@@ -1181,6 +1225,46 @@ class ModuleFaultModel:
             condition,
             repeats=repeats,
             true_cell_lookup=self._true_cell_lookup,
+        )
+
+    def bank_state(self, bank: int, rows: "list[int]"):
+        """Packed array-backed state for ``rows`` of one bank.
+
+        Bulk-series fast path (see :class:`repro.dram.fastfaults
+        .BankVrdState`); bit-identical to per-row :meth:`process` queries.
+        One state per bank is cached, keyed by the exact rows tuple.
+        """
+        from repro.dram.fastfaults import BankVrdState
+
+        rows = tuple(int(row) for row in rows)
+        cached = self._bank_states.get(bank)
+        if cached is not None and cached[0] == rows:
+            return cached[1]
+        state = BankVrdState(
+            self.params,
+            self.row_bits,
+            self._seed_for_rows(),
+            self.module_id,
+            bank,
+            rows,
+            true_cell_lookup=self._true_cell_lookup,
+        )
+        self._bank_states[bank] = (rows, state)
+        return state
+
+    def latent_series_bank(
+        self,
+        bank: int,
+        rows: "list[int]",
+        condition: Condition,
+        n: int,
+        stream: str = "series",
+    ) -> np.ndarray:
+        """Latent series of many rows at once, as an ``(len(rows), n)``
+        matrix; row ``k`` equals ``process(bank, rows[k]).latent_series(...)``
+        bit for bit."""
+        return self.bank_state(bank, rows).latent_series_bulk(
+            condition, n, stream=stream
         )
 
     def begin_measurement(self, bank: int, row: int, condition: Condition) -> None:

@@ -27,7 +27,7 @@ from typing import Dict, Optional
 import numpy as np
 from scipy import stats as scipy_stats
 
-from repro.ecc.base import DecodeOutcome, EccCode
+from repro.ecc.base import OUTCOME_DETECTED, DecodeOutcome, EccCode
 from repro.ecc.chipkill import ChipkillSsc
 from repro.ecc.hamming import Sec72, Secded72
 from repro.errors import EccError
@@ -107,6 +107,14 @@ class MonteCarloOutcome:
     detected: float  # decoder reports DETECTED (regardless of data)
 
 
+#: Trials per internal chunk of :func:`monte_carlo_outcomes`. Fixed rather
+#: than tunable because the chunk boundaries define the RNG draw order —
+#: each chunk draws one ``(chunk, k_bits)`` data batch followed by one
+#: ``(chunk, n_bits)`` uniform batch — so a given seed always produces the
+#: same trials regardless of how the decode work is dispatched.
+_MC_CHUNK = 32_768
+
+
 def monte_carlo_outcomes(
     code: EccCode,
     ber: float,
@@ -118,25 +126,43 @@ def monte_carlo_outcomes(
     Ground truth is the encoded data; "uncorrectable" means the decoder's
     data estimate is wrong, "undetectable" means it is wrong while the
     decoder believes everything is fine (a silent data corruption).
+
+    Trials are drawn in fixed chunks of ``_MC_CHUNK`` (data batch, then
+    error-mask batch). Codecs exposing ``encode_batch``/``decode_batch``
+    run through the vectorized path; others fall back to per-codeword
+    ``encode``/``decode`` on the *same* batched draws, so per-trial
+    outcomes are identical either way for a fixed seed.
     """
     if rng is None:
         rng = np.random.default_rng(0)
+    batched = hasattr(code, "encode_batch") and hasattr(code, "decode_batch")
     wrong = 0
     silent_wrong = 0
     detected = 0
-    for _ in range(trials):
-        data = rng.integers(0, 2, code.k_bits, dtype=np.uint8)
-        codeword = code.encode(data)
-        errors = rng.random(code.n_bits) < ber
-        received = codeword ^ errors.astype(np.uint8)
-        result = code.decode(received)
-        if result.outcome is DecodeOutcome.DETECTED:
-            detected += 1
-        data_wrong = not np.array_equal(result.data, data)
-        if data_wrong:
-            wrong += 1
-            if result.outcome is not DecodeOutcome.DETECTED:
-                silent_wrong += 1
+    done = 0
+    while done < trials:
+        chunk = min(_MC_CHUNK, trials - done)
+        data = rng.integers(0, 2, (chunk, code.k_bits), dtype=np.uint8)
+        errors = (rng.random((chunk, code.n_bits)) < ber).astype(np.uint8)
+        if batched:
+            received = code.encode_batch(data) ^ errors
+            decoded, outcomes = code.decode_batch(received)
+            is_detected = outcomes == OUTCOME_DETECTED
+            data_wrong = np.any(decoded != data, axis=1)
+        else:
+            is_detected = np.zeros(chunk, dtype=bool)
+            data_wrong = np.zeros(chunk, dtype=bool)
+            for index in range(chunk):
+                received = code.encode(data[index]) ^ errors[index]
+                result = code.decode(received)
+                is_detected[index] = result.outcome is DecodeOutcome.DETECTED
+                data_wrong[index] = not np.array_equal(
+                    result.data, data[index]
+                )
+        detected += int(np.count_nonzero(is_detected))
+        wrong += int(np.count_nonzero(data_wrong))
+        silent_wrong += int(np.count_nonzero(data_wrong & ~is_detected))
+        done += chunk
     return MonteCarloOutcome(
         scheme=type(code).__name__,
         trials=trials,

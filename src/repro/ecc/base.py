@@ -36,6 +36,19 @@ class DecodeResult:
     outcome: DecodeOutcome
 
 
+#: Stable integer outcome codes for batched decoders. ``decode_batch``
+#: returns one code per codeword; index :data:`OUTCOME_BY_CODE` to recover
+#: the enum member.
+OUTCOME_CLEAN = 0
+OUTCOME_CORRECTED = 1
+OUTCOME_DETECTED = 2
+OUTCOME_BY_CODE = (
+    DecodeOutcome.CLEAN,
+    DecodeOutcome.CORRECTED,
+    DecodeOutcome.DETECTED,
+)
+
+
 class EccCode(ABC):
     """One systematic block code over bits."""
 
@@ -63,6 +76,24 @@ class EccCode(ABC):
             raise EccError(
                 f"{type(self).__name__}: expected {self.n_bits} codeword "
                 f"bits, got shape {bits.shape}"
+            )
+        return bits
+
+    def _check_data_batch(self, data: np.ndarray) -> np.ndarray:
+        bits = np.asarray(data, dtype=np.uint8) & 1
+        if bits.ndim != 2 or bits.shape[1] != self.k_bits:
+            raise EccError(
+                f"{type(self).__name__}: expected (trials, {self.k_bits}) "
+                f"data bits, got shape {bits.shape}"
+            )
+        return bits
+
+    def _check_codeword_batch(self, codewords: np.ndarray) -> np.ndarray:
+        bits = np.asarray(codewords, dtype=np.uint8) & 1
+        if bits.ndim != 2 or bits.shape[1] != self.n_bits:
+            raise EccError(
+                f"{type(self).__name__}: expected (trials, {self.n_bits}) "
+                f"codeword bits, got shape {bits.shape}"
             )
         return bits
 

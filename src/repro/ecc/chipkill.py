@@ -11,7 +11,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ecc.base import DecodeOutcome, DecodeResult, EccCode
+from repro.ecc.base import (
+    OUTCOME_CLEAN,
+    OUTCOME_CORRECTED,
+    OUTCOME_DETECTED,
+    DecodeOutcome,
+    DecodeResult,
+    EccCode,
+)
 from repro.ecc.gf import FIELD
 
 _SYMBOLS = 18
@@ -50,6 +57,22 @@ class ChipkillSsc(EccCode):
         return np.unpackbits(
             symbols.astype(np.uint8)[:, None], axis=1, bitorder="little"
         ).reshape(-1)
+
+    @staticmethod
+    def _to_symbols_batch(bits: np.ndarray) -> np.ndarray:
+        trials = bits.shape[0]
+        return np.packbits(
+            bits.reshape(trials, -1, _BITS_PER_SYMBOL),
+            axis=2,
+            bitorder="little",
+        ).reshape(trials, -1)
+
+    @staticmethod
+    def _to_bits_batch(symbols: np.ndarray) -> np.ndarray:
+        trials = symbols.shape[0]
+        return np.unpackbits(
+            symbols.astype(np.uint8)[:, :, None], axis=2, bitorder="little"
+        ).reshape(trials, -1)
 
     def symbol_of_bit(self, bit_index: int) -> int:
         """Which symbol a codeword bit belongs to."""
@@ -108,3 +131,58 @@ class ChipkillSsc(EccCode):
         # s0 == 0 with s1 != 0 (or vice versa), or locator out of range:
         # inconsistent with any single-symbol error.
         return DecodeResult(bits[: self.k_bits].copy(), DecodeOutcome.DETECTED)
+
+    # ------------------------------------------------------------------
+    # Batched codec (vectorized Monte Carlo path)
+    # ------------------------------------------------------------------
+
+    def encode_batch(self, data: np.ndarray) -> np.ndarray:
+        """Encode a ``(trials, 128)`` batch into ``(trials, 144)`` bits."""
+        bits = self._check_data_batch(data)
+        trials = bits.shape[0]
+        symbols = np.zeros((trials, _SYMBOLS), dtype=np.uint8)
+        symbols[:, :_DATA_SYMBOLS] = self._to_symbols_batch(bits)
+        data_symbols = symbols[:, :_DATA_SYMBOLS].astype(np.int64)
+        alpha = np.array(self._alpha[:_DATA_SYMBOLS], dtype=np.int64)
+        s0 = np.bitwise_xor.reduce(data_symbols, axis=1)
+        s1 = np.bitwise_xor.reduce(
+            FIELD.mul_arrays(data_symbols, alpha[None, :]), axis=1
+        )
+        numerator = s1 ^ FIELD.mul_arrays(s0, self._alpha[16])
+        p17 = FIELD.div_arrays(numerator, self._denominator)
+        symbols[:, 17] = p17
+        symbols[:, 16] = s0 ^ p17
+        return self._to_bits_batch(symbols)
+
+    def decode_batch(
+        self, codewords: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Vectorized :meth:`decode` over a ``(trials, 144)`` batch.
+
+        Returns ``(data, outcomes)`` exactly as the scalar decoder would
+        per codeword: ``(trials, 128)`` data-bit estimates and a
+        ``(trials,)`` int8 array of outcome codes.
+        """
+        bits = self._check_codeword_batch(codewords)
+        symbols = self._to_symbols_batch(bits).astype(np.int64)
+        alpha = np.array(self._alpha, dtype=np.int64)
+        s0 = np.bitwise_xor.reduce(symbols, axis=1)
+        s1 = np.bitwise_xor.reduce(
+            FIELD.mul_arrays(symbols, alpha[None, :]), axis=1
+        )
+        outcomes = np.full(len(bits), OUTCOME_DETECTED, dtype=np.int8)
+        outcomes[(s0 == 0) & (s1 == 0)] = OUTCOME_CLEAN
+        both = (s0 != 0) & (s1 != 0)
+        # Locator = log(s1/s0); out-of-range locators stay DETECTED.
+        positions = np.full(len(bits), _SYMBOLS, dtype=np.int64)
+        if np.any(both):
+            positions[both] = FIELD.log_alpha_arrays(
+                FIELD.div_arrays(s1[both], s0[both])
+            )
+        fixable = both & (positions < _SYMBOLS)
+        repaired = symbols.copy()
+        rows = np.nonzero(fixable)[0]
+        repaired[rows, positions[rows]] ^= s0[rows]
+        outcomes[fixable] = OUTCOME_CORRECTED
+        data_bits = self._to_bits_batch(repaired)[:, : self.k_bits]
+        return data_bits, outcomes

@@ -63,6 +63,35 @@ class GF256:
             raise EccError("discrete log of zero is undefined")
         return int(self._log[value])
 
+    # ------------------------------------------------------------------
+    # Array forms: the same log/antilog lookups on whole symbol batches
+    # (broadcasting as numpy does), for the vectorized Monte Carlo codecs.
+    # ------------------------------------------------------------------
+
+    def mul_arrays(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise GF(256) product of two symbol arrays."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        # log[0] is a dummy 0 entry; mask those products out afterwards.
+        products = self._exp[self._log[a] + self._log[b]]
+        return np.where((a == 0) | (b == 0), 0, products)
+
+    def div_arrays(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise GF(256) quotient; every divisor must be nonzero."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if np.any(b == 0):
+            raise EccError("division by zero in GF(256)")
+        quotients = self._exp[(self._log[a] - self._log[b]) % 255]
+        return np.where(a == 0, 0, quotients)
+
+    def log_alpha_arrays(self, values: np.ndarray) -> np.ndarray:
+        """Elementwise discrete log; every value must be nonzero."""
+        values = np.asarray(values, dtype=np.int64)
+        if np.any(values == 0):
+            raise EccError("discrete log of zero is undefined")
+        return self._log[values]
+
 
 #: Shared field instance (tables are immutable).
 FIELD = GF256()

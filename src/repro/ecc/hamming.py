@@ -18,7 +18,14 @@ from typing import List
 
 import numpy as np
 
-from repro.ecc.base import DecodeOutcome, DecodeResult, EccCode
+from repro.ecc.base import (
+    OUTCOME_CLEAN,
+    OUTCOME_CORRECTED,
+    OUTCOME_DETECTED,
+    DecodeOutcome,
+    DecodeResult,
+    EccCode,
+)
 
 _PARITY = 8
 _DATA = 64
@@ -57,6 +64,19 @@ class _HammingBase(EccCode):
         self._data_matrix = (
             (self._columns[:_DATA, None] >> np.arange(_PARITY)) & 1
         ).astype(np.uint8)  # shape (64, 8)
+        # Batched-decoder tables: the full (72, 8) column bit matrix plus
+        # dense syndrome -> position (-1 = no matching column) and
+        # syndrome -> correctable lookups covering all 256 syndromes.
+        self._full_matrix = (
+            (self._columns[:, None] >> np.arange(_PARITY)) & 1
+        ).astype(np.uint8)
+        self._syndrome_position = np.full(256, -1, dtype=np.int64)
+        for column, index in self._position.items():
+            self._syndrome_position[column] = index
+        self._syndrome_correctable = np.array(
+            [self._correctable(syndrome) for syndrome in range(256)],
+            dtype=bool,
+        )
 
     def encode(self, data: np.ndarray) -> np.ndarray:
         bits = self._check_data(data)
@@ -85,6 +105,41 @@ class _HammingBase(EccCode):
     def _correctable(self, syndrome: int) -> bool:
         """Whether a column-matching syndrome should be corrected."""
         return True
+
+    # ------------------------------------------------------------------
+    # Batched codec (vectorized Monte Carlo path)
+    # ------------------------------------------------------------------
+
+    def encode_batch(self, data: np.ndarray) -> np.ndarray:
+        """Encode a ``(trials, 64)`` batch into ``(trials, 72)`` codewords."""
+        bits = self._check_data_batch(data)
+        parity = (bits @ self._data_matrix) & 1
+        return np.concatenate([bits, parity.astype(np.uint8)], axis=1)
+
+    def decode_batch(
+        self, codewords: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Vectorized :meth:`decode` over a ``(trials, 72)`` batch.
+
+        Returns ``(data, outcomes)``: the ``(trials, 64)`` corrected data
+        estimates and a ``(trials,)`` int8 array of outcome codes
+        (:data:`~repro.ecc.base.OUTCOME_CLEAN` and friends), matching the
+        scalar decoder codeword for codeword.
+        """
+        bits = self._check_codeword_batch(codewords)
+        # XOR-folding the set columns equals, per parity bit, the popcount
+        # of set columns carrying that bit taken mod 2.
+        parity = (bits @ self._full_matrix) & 1
+        syndromes = parity.astype(np.int64) @ (1 << np.arange(_PARITY))
+        positions = self._syndrome_position[syndromes]
+        correctable = (positions >= 0) & self._syndrome_correctable[syndromes]
+        decoded = bits.copy()
+        flip_rows = np.nonzero(correctable)[0]
+        decoded[flip_rows, positions[flip_rows]] ^= 1
+        outcomes = np.full(len(bits), OUTCOME_DETECTED, dtype=np.int8)
+        outcomes[syndromes == 0] = OUTCOME_CLEAN
+        outcomes[correctable] = OUTCOME_CORRECTED
+        return decoded[:, :_DATA], outcomes
 
 
 class Sec72(_HammingBase):

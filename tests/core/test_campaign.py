@@ -1,5 +1,6 @@
 """Tests for characterization campaigns."""
 
+import numpy as np
 import pytest
 
 from repro.core.campaign import Campaign, select_vulnerable_rows
@@ -79,3 +80,23 @@ def test_campaign_validation(module):
         Campaign(module, configs, n_measurements=1)
     with pytest.raises(MeasurementError):
         Campaign(module, configs, n_measurements=100).run([])
+
+
+def test_batched_campaign_identical_to_reference(module):
+    """The packed device fast path must reproduce the per-row guess +
+    measure loop observation for observation, bit for bit."""
+    configs = small_configs(module)
+    rows = [10, 20, 20, 30]  # duplicate pair re-measures identically
+    batched = Campaign(module, configs, n_measurements=60).run(rows)
+    reference = Campaign(
+        module, configs, n_measurements=60, batched=False
+    ).run(rows)
+    assert len(batched) == len(reference)
+    for fast, slow in zip(batched.observations, reference.observations):
+        assert (fast.bank, fast.row, fast.config) == (
+            slow.bank,
+            slow.row,
+            slow.config,
+        )
+        assert fast.series.grid_step == slow.series.grid_step
+        np.testing.assert_array_equal(fast.series.values, slow.series.values)

@@ -110,6 +110,55 @@ class TestAutocorrelation:
             stats.autocorrelation(np.full(100, 3.0), max_lag=5)
 
 
+def _fig06_like_series(rng, n=3000, nan_fraction=0.02):
+    """A grid-quantized RDT series with failed-sweep NaNs, like the Fig. 6
+    input: values snap to a hammer-sweep step grid."""
+    values = np.round(rng.normal(4000.0, 40.0, n) / 16.0) * 16.0
+    failed = rng.random(n) < nan_fraction
+    values[failed] = np.nan
+    return values
+
+
+class TestFftAutocorrelation:
+    """The FFT path must reproduce the direct estimator to float tolerance."""
+
+    @pytest.mark.parametrize("max_lag", [1, 7, 50, 200])
+    def test_matches_direct_formula_on_fig06_inputs(self, max_lag):
+        rng = np.random.default_rng(6)
+        values = _fig06_like_series(rng)
+        data = values[~np.isnan(values)]
+        centered = data - data.mean()
+        variance = float(np.dot(centered, centered))
+        direct = stats._autocorrelation_direct(centered, variance, max_lag)
+        fft = stats.autocorrelation(values, max_lag=max_lag)
+        np.testing.assert_allclose(fft, direct, rtol=1e-9, atol=1e-12)
+
+    def test_matches_direct_on_correlated_series(self):
+        rng = np.random.default_rng(8)
+        values = np.zeros(4000)
+        for i in range(1, len(values)):
+            values[i] = 0.8 * values[i - 1] + rng.normal()
+        centered = values - values.mean()
+        variance = float(np.dot(centered, centered))
+        direct = stats._autocorrelation_direct(centered, variance, 100)
+        fft = stats.autocorrelation(values, max_lag=100)
+        np.testing.assert_allclose(fft, direct, rtol=1e-9, atol=1e-12)
+
+    def test_ljung_box_matches_per_lag_sum(self):
+        rng = np.random.default_rng(9)
+        values = _fig06_like_series(rng)
+        lags = 20
+        q, p = stats.ljung_box_test(values, lags=lags)
+        data = values[~np.isnan(values)]
+        n = data.size
+        acf = stats.autocorrelation(data, max_lag=lags)
+        expected_q = n * (n + 2.0) * sum(
+            float(acf[lag]) ** 2 / (n - lag) for lag in range(1, lags + 1)
+        )
+        assert q == pytest.approx(expected_q, rel=1e-12)
+        assert 0.0 <= p <= 1.0
+
+
 class TestBoxStats:
     def test_quartiles(self):
         box = stats.box_stats(np.arange(1, 101, dtype=float))
