@@ -1,0 +1,506 @@
+"""Trace compiler for DRAM Bender programs.
+
+Real DRAM-Bender-style testbeds (and SoftMC before them) get their
+throughput by compiling whole test loops into dense command streams that
+the FPGA replays in bulk. This module is the software analogue for the
+simulated Bender: it takes a straight-line :class:`~repro.bender.program.
+Program`, validates it once against the same rules the interpreter and the
+bank enforce, and lowers it to a flat list of pre-resolved steps — physical
+row addresses, shared fill templates, constant timing operands — that can
+be executed without per-instruction dispatch, per-write ``np.full``
+allocations, or per-trial program rebuilds.
+
+The scalar :class:`~repro.bender.interpreter.Interpreter` remains the
+specification. Everything the compiled path produces — ``reads``,
+``elapsed_ns``, ``command_counts``, bank timing state, stress accounting,
+RNG consumption of the fault model — is bit-identical to ``Interpreter.run``
+on the same program, and ``tests/bender/test_compiler.py`` asserts exactly
+that over a randomized program corpus. Two consequences shape the design:
+
+* **Timing is replayed, not re-associated.** IEEE floats make
+  ``fl(fl(a + x) + y) != fl(a + (x + y))`` in general, so the JEDEC
+  ready-time chain cannot be folded into cumulative arrays without
+  breaking bit-identity. The compiler instead replays the interpreter's
+  exact ``max``/``+`` sequence over precompiled operands (a few dozen
+  float ops per trial — never the bottleneck). The batching wins come from
+  data movement: shared fill templates instead of per-instruction
+  ``np.full``, skip-copy row writes, and flips read off the bank's stress
+  ledger instead of an 8 KiB ``unpackbits`` compare.
+* **Malformed programs fail at compile time.** ``compile_program`` raises
+  the same exception classes the scalar path would (``ProgramError`` for
+  column access with no open row or duplicate read tags,
+  ``CommandSequenceError`` for ACT-while-open, ``AddressError`` for bad
+  addresses) — but *before* executing anything, where the interpreter
+  raises mid-run after earlier instructions took effect. Compiled programs
+  also require every touched bank to be closed when ``run`` starts (the
+  builder idioms always end closed); ``run`` checks and refuses otherwise.
+
+:class:`CompiledTrial` specializes the plan for ``DramBender.run_trial``:
+the hammer count becomes a replay operand, so one compilation serves a
+whole ``RdtMeter.measure_series`` sweep grid, and row writes skip the
+template copy entirely when the stored row is provably unchanged since the
+previous replay (tracked through the stress ledger's ``flipped`` set; the
+skip is disabled while refresh is enabled, since ``refresh_row`` clears the
+ledger without restoring content).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bender.interpreter import ExecutionResult, Interpreter
+from repro.bender.isa import Act, Hammer, Pre, ReadRow, Wait, WriteRow
+from repro.bender.program import Program
+from repro.dram.bank import _RowStress
+from repro.dram.module import DramModule
+from repro.errors import CommandSequenceError, ProgramError
+
+# Lowered opcodes (plain ints: tuple dispatch beats isinstance chains).
+OP_ACT = 0
+OP_PRE = 1  # precharge with an open row (stress accrual)
+OP_PRE_IDLE = 2  # precharge of an idle bank (PREab semantics)
+OP_WRITE = 3
+OP_READ = 4
+OP_WAIT = 5
+OP_HAMMER = 6
+
+#: Step tuples, by opcode:
+#:   (OP_ACT, bank, logical, physical)
+#:   (OP_PRE, bank, min_on_ns|None, below_victim|-1, above_victim|-1)
+#:   (OP_PRE_IDLE, bank)
+#:   (OP_WRITE, bank, logical, physical, template)
+#:   (OP_READ, bank, logical, physical, tag)
+#:   (OP_WAIT, duration_ns)
+#:   (OP_HAMMER, bank, logical_rows, t_on, count)
+Step = Tuple
+
+
+def _lower(program: Program, module: DramModule) -> Tuple[List[Step], Dict[str, int]]:
+    """Validate a straight-line program and lower it to flat steps.
+
+    Tracks per-bank symbolic open-row state under the compiled-path entry
+    precondition (every touched bank starts closed) and raises the same
+    exception classes the scalar route would, at compile time.
+    """
+    geometry = module.geometry
+    timing = module.timing
+    columns = geometry.columns_per_row
+    n_rows = geometry.n_rows
+
+    steps: List[Step] = []
+    counts: Dict[str, int] = {}
+    open_rows: Dict[int, Optional[int]] = {}
+    tags: set = set()
+
+    def bump(kind: str, amount: int = 1) -> None:
+        counts[kind] = counts.get(kind, 0) + amount
+
+    # Shared read-only fill templates: one array per distinct image.
+    templates: Dict[object, np.ndarray] = {}
+
+    for instruction in program:
+        if isinstance(instruction, Act):
+            bank = module.bank(instruction.bank)
+            geometry.validate_address(instruction.bank, instruction.row)
+            open_physical = open_rows.get(instruction.bank)
+            if open_physical is not None:
+                raise CommandSequenceError(
+                    f"bank {instruction.bank}: ACT while row "
+                    f"{open_physical} is open"
+                )
+            physical = bank.mapping.to_physical(instruction.row)
+            open_rows[instruction.bank] = physical
+            steps.append((OP_ACT, instruction.bank, instruction.row, physical))
+            bump("ACT")
+        elif isinstance(instruction, Pre):
+            module.bank(instruction.bank)
+            open_physical = open_rows.get(instruction.bank)
+            if open_physical is None:
+                steps.append((OP_PRE_IDLE, instruction.bank))
+            else:
+                below = open_physical + 1 if open_physical + 1 < n_rows else -1
+                above = open_physical - 1  # already -1 when out of range
+                steps.append(
+                    (OP_PRE, instruction.bank, instruction.min_on_ns, below, above)
+                )
+                open_rows[instruction.bank] = None
+            bump("PRE")
+        elif isinstance(instruction, WriteRow):
+            bank = module.bank(instruction.bank)
+            if open_rows.get(instruction.bank) is None:
+                raise ProgramError(
+                    f"WriteRow to bank {instruction.bank} with no open row; "
+                    "programs must ACT first (use ProgramBuilder.write_row)"
+                )
+            key = instruction.fill if isinstance(instruction.fill, int) else (
+                bytes(instruction.fill)
+            )
+            template = templates.get(key)
+            if template is None:
+                template = instruction.data(geometry.row_bytes)
+                template.setflags(write=False)
+                templates[key] = template
+            geometry.validate_address(instruction.bank, instruction.row)
+            physical = bank.mapping.to_physical(instruction.row)
+            if open_rows[instruction.bank] != physical:
+                raise CommandSequenceError(
+                    f"bank {instruction.bank}: column access to row "
+                    f"{instruction.row} (physical {physical}) but open row "
+                    f"is {open_rows[instruction.bank]}"
+                )
+            steps.append(
+                (OP_WRITE, instruction.bank, instruction.row, physical, template)
+            )
+            bump("WR", columns)
+        elif isinstance(instruction, ReadRow):
+            bank = module.bank(instruction.bank)
+            if open_rows.get(instruction.bank) is None:
+                raise ProgramError(
+                    f"ReadRow from bank {instruction.bank} with no open row"
+                )
+            geometry.validate_address(instruction.bank, instruction.row)
+            physical = bank.mapping.to_physical(instruction.row)
+            if open_rows[instruction.bank] != physical:
+                raise CommandSequenceError(
+                    f"bank {instruction.bank}: column access to row "
+                    f"{instruction.row} (physical {physical}) but open row "
+                    f"is {open_rows[instruction.bank]}"
+                )
+            if instruction.tag in tags:
+                raise ProgramError(f"duplicate read tag {instruction.tag!r}")
+            tags.add(instruction.tag)
+            steps.append(
+                (OP_READ, instruction.bank, instruction.row, physical,
+                 instruction.tag)
+            )
+            bump("RD", columns)
+        elif isinstance(instruction, Wait):
+            steps.append((OP_WAIT, instruction.duration_ns))
+        elif isinstance(instruction, Hammer):
+            module.bank(instruction.bank)
+            open_physical = open_rows.get(instruction.bank)
+            if open_physical is not None:
+                raise CommandSequenceError(
+                    f"bank {instruction.bank}: hammer loop while row "
+                    f"{open_physical} open"
+                )
+            if instruction.count > 0:
+                for row in instruction.rows:
+                    geometry.validate_address(instruction.bank, row)
+            t_on = max(instruction.t_agg_on, timing.tRAS)
+            steps.append(
+                (OP_HAMMER, instruction.bank, list(instruction.rows), t_on,
+                 instruction.count)
+            )
+            bump("ACT", instruction.total_activations)
+            bump("PRE", instruction.total_activations)
+        else:
+            raise ProgramError(f"unknown instruction {instruction!r}")
+
+    return steps, counts
+
+
+class CompiledProgram:
+    """A lowered straight-line program, replayable without re-validation.
+
+    ``run`` executes against the real module state through the same
+    module-level calls the interpreter issues, so the result — and every
+    side effect on banks, stress ledgers, the TRR sampler, and the fault
+    model's RNG streams — is bit-identical to ``Interpreter.run`` on the
+    source program.
+    """
+
+    def __init__(self, program: Program, module: DramModule):
+        self.name = program.name
+        self.module = module
+        self.steps, self.static_counts = _lower(program, module)
+        self.touched_banks = sorted(
+            {step[1] for step in self.steps if step[0] != OP_WAIT}
+        )
+
+    def run(self, interpreter: Interpreter) -> ExecutionResult:
+        """Execute the compiled plan; mirror of ``Interpreter.run``."""
+        module = self.module
+        if interpreter.module is not module:
+            raise ProgramError(
+                "compiled program executed against a different module"
+            )
+        for bank_index in self.touched_banks:
+            open_row = module.bank(bank_index).open_row
+            if open_row is not None:
+                raise CommandSequenceError(
+                    f"bank {bank_index}: compiled program requires a closed "
+                    f"bank at entry, but row {open_row} is open (run the "
+                    "scalar interpreter instead)"
+                )
+        timing = module.timing
+        tRP = timing.tRP
+        tRC = timing.tRC
+        tRAS = timing.tRAS
+        tWR = timing.tWR
+        tRCD = timing.tRCD
+        tRTP = timing.tRTP
+        columns = module.geometry.columns_per_row
+        # Pure products of constants: value-identical to the per-step
+        # evaluation in the interpreter.
+        write_tail = (columns - 1) * timing.tCCD_L_WR
+        read_tail = (columns - 1) * timing.tCCD_L
+
+        now = interpreter.now
+        start = now
+        reads: Dict[str, np.ndarray] = {}
+        banks = module.banks
+
+        for step in self.steps:
+            op = step[0]
+            if op == OP_WRITE:
+                bank = banks[step[1]]
+                finish = max(now, bank.opened_at + tRCD) + write_tail
+                module.write_row(step[1], step[2], step[4], finish)
+                now = finish
+            elif op == OP_ACT:
+                bank = banks[step[1]]
+                ready = max(
+                    now, bank.last_precharge + tRP, bank.last_activate + tRC
+                )
+                module.activate(step[1], step[2], ready)
+                now = ready
+            elif op == OP_PRE:
+                bank = banks[step[1]]
+                ready = max(
+                    now, bank.opened_at + tRAS, bank.last_write_end + tWR
+                )
+                if step[2] is not None:
+                    ready = max(ready, bank.opened_at + step[2])
+                module.precharge(step[1], ready)
+                now = ready
+            elif op == OP_PRE_IDLE:
+                module.precharge(step[1], now)
+            elif op == OP_READ:
+                bank = banks[step[1]]
+                finish = max(now, bank.opened_at + tRCD) + read_tail + tRTP
+                reads[step[4]] = module.read_row(step[1], step[2], finish)
+                now = finish
+            elif op == OP_WAIT:
+                now += step[1]
+            else:  # OP_HAMMER
+                now = module.bulk_hammer(step[1], step[2], step[4], step[3], now)
+
+        interpreter.now = now
+        for kind, amount in self.static_counts.items():
+            interpreter._bump(kind, amount)
+        return ExecutionResult(
+            program_name=self.name,
+            elapsed_ns=now - start,
+            reads=reads,
+            command_counts=dict(self.static_counts),
+        )
+
+
+def compile_program(program: Program, module: DramModule) -> CompiledProgram:
+    """Compile a program for repeated execution against ``module``."""
+    return CompiledProgram(program, module)
+
+
+class CompiledTrial:
+    """A compiled Algorithm 1 trial with the hammer count as an operand.
+
+    One compilation covers a whole measurement sweep: ``replay`` executes
+    the init → double-sided hammer → readback trace with a per-call hammer
+    count and returns the victim's flipped bit positions — bit-identical to
+    ``DramBender.run_trial`` (which stays the oracle), including the bank
+    timing state, stress accounting, TRR sampling, and fault-model RNG
+    consumption it leaves behind.
+
+    Beyond dispatch, two trial-specific shortcuts hold the speedup:
+
+    * **Skip-copy writes.** The plan remembers the exact array object it
+      placed in bank storage per row. When that object is still stored and
+      the row's stress ledger records no materialized flips, the row
+      provably equals the template (flips only materialize on read and are
+      always ledgered), so the 1–8 KiB copy is skipped. Any external write
+      replaces the object and any read that flips is ledgered, so mixed
+      compiled/scalar use stays exact; the shortcut disarms while refresh
+      is enabled because ``refresh_row`` clears the ledger without
+      restoring content.
+    * **Ledger reads.** The victim is written with the pattern byte each
+      trial, so its post-read XOR against the expected image is exactly
+      the stress ledger's ``flipped`` set — no row copy, no ``unpackbits``.
+      With on-die ECC enabled, words with exactly one flip read back
+      corrected and are excluded, mirroring the module's ECC view.
+    """
+
+    def __init__(self, program: Program, module: DramModule):
+        self.name = program.name
+        self.module = module
+        steps, counts = _lower(program, module)
+        banks = {step[1] for step in steps if step[0] != OP_WAIT}
+        if len(banks) != 1:
+            raise ProgramError(
+                f"a compiled trial must target exactly one bank, got {sorted(banks)}"
+            )
+        hammers = [step for step in steps if step[0] == OP_HAMMER]
+        read_steps = [step for step in steps if step[0] == OP_READ]
+        if len(hammers) != 1 or len(read_steps) != 1:
+            raise ProgramError(
+                "a compiled trial needs exactly one Hammer and one ReadRow"
+            )
+        self.bank_index = banks.pop()
+        self._steps = steps
+        self._hammer_rows = len(hammers[0][2])
+        # The placeholder hammer count is compiled out of the static
+        # counts; replay adds the per-call contribution instead.
+        placeholder = hammers[0][4] * self._hammer_rows
+        self._static_counts = dict(counts)
+        self._static_counts["ACT"] = counts.get("ACT", 0) - placeholder
+        self._static_counts["PRE"] = counts.get("PRE", 0) - placeholder
+        self._static_acts = sum(1 for step in steps if step[0] == OP_ACT)
+        self._placed: Dict[int, np.ndarray] = {}
+
+    def replay(self, interpreter: Interpreter, hammer_count: int) -> List[int]:
+        """One trial at ``hammer_count``; returns flipped bit positions."""
+        module = self.module
+        if interpreter.module is not module:
+            raise ProgramError(
+                "compiled trial executed against a different module"
+            )
+        bank = module.banks[self.bank_index]
+        if bank.open_row is not None:
+            raise CommandSequenceError(
+                f"bank {self.bank_index}: compiled trial requires a closed "
+                f"bank at entry, but row {bank.open_row} is open"
+            )
+        timing = module.timing
+        tRP = timing.tRP
+        tRC = timing.tRC
+        tRAS = timing.tRAS
+        tWR = timing.tWR
+        tRCD = timing.tRCD
+        tRTP = timing.tRTP
+        columns = module.geometry.columns_per_row
+        write_tail = (columns - 1) * timing.tCCD_L_WR
+        read_tail = (columns - 1) * timing.tCCD_L
+
+        now = interpreter.now
+        opened_at = bank.opened_at
+        last_activate = bank.last_activate
+        last_precharge = bank.last_precharge
+        last_write_end = bank.last_write_end
+        storage = bank._storage
+        stress_map = bank._stress
+        freshness = bank._freshness
+        trr = module._trr if module.mode.trr_enabled else None
+        skip_ok = not module.refresh_enabled
+        placed = self._placed
+        flips: List[int] = []
+
+        for step in self._steps:
+            op = step[0]
+            if op == OP_WRITE:
+                physical = step[3]
+                finish = max(now, opened_at + tRCD) + write_tail
+                stress = stress_map.get(physical)
+                mine = placed.get(physical)
+                if (
+                    skip_ok
+                    and mine is not None
+                    and storage.get(physical) is mine
+                    and (stress is None or not stress.flipped)
+                ):
+                    pass  # stored content still equals the template
+                else:
+                    image = step[4].copy()
+                    storage[physical] = image
+                    placed[physical] = image
+                if stress is not None and (
+                    stress.below_acts or stress.above_acts or stress.flipped
+                ):
+                    stress.reset()
+                freshness[physical] = finish
+                last_write_end = finish
+                now = finish
+            elif op == OP_ACT:
+                ready = max(now, last_precharge + tRP, last_activate + tRC)
+                opened_at = ready
+                last_activate = ready
+                if trr is not None:
+                    trr.observe(step[3])
+                now = ready
+            elif op == OP_PRE:
+                ready = max(now, opened_at + tRAS, last_write_end + tWR)
+                if step[2] is not None:
+                    ready = max(ready, opened_at + step[2])
+                on_time = ready - opened_at
+                below = step[3]
+                if below >= 0:
+                    stress = stress_map.get(below)
+                    if stress is None:
+                        stress = _RowStress()
+                        stress_map[below] = stress
+                    stress.below_acts += 1
+                    stress.below_on_ns += on_time
+                above = step[4]
+                if above >= 0:
+                    stress = stress_map.get(above)
+                    if stress is None:
+                        stress = _RowStress()
+                        stress_map[above] = stress
+                    stress.above_acts += 1
+                    stress.above_on_ns += on_time
+                last_precharge = ready
+                now = ready
+            elif op == OP_PRE_IDLE:
+                if now > last_precharge:
+                    last_precharge = now
+            elif op == OP_READ:
+                physical = step[3]
+                finish = max(now, opened_at + tRCD) + read_tail + tRTP
+                if physical not in storage:
+                    data = bank._powerup_content(physical)
+                    storage[physical] = data
+                    freshness[physical] = finish
+                bank._apply_disturbance(physical, finish)
+                bank._apply_retention(physical, finish)
+                stress = stress_map.get(physical)
+                if stress is not None and stress.flipped:
+                    flips = sorted(stress.flipped)
+                now = finish
+            elif op == OP_WAIT:
+                now += step[1]
+            else:  # OP_HAMMER — the real module call keeps TRR/stress exact
+                bank.last_precharge = last_precharge
+                bank.last_activate = last_activate
+                now = module.bulk_hammer(
+                    self.bank_index, step[2], hammer_count, step[3], now
+                )
+                last_precharge = bank.last_precharge
+                last_activate = bank.last_activate
+
+        bank.open_row = None
+        bank.opened_at = opened_at
+        bank.last_activate = last_activate
+        bank.last_precharge = last_precharge
+        bank.last_write_end = last_write_end
+        bank.activation_count += self._static_acts
+        interpreter.now = now
+
+        total_activations = hammer_count * self._hammer_rows
+        for kind, amount in self._static_counts.items():
+            interpreter._bump(kind, amount)
+        interpreter._bump("ACT", total_activations)
+        interpreter._bump("PRE", total_activations)
+
+        if module.mode.ecc_enabled and flips:
+            per_word: Dict[int, int] = {}
+            for bit in flips:
+                word = bit // 64
+                per_word[word] = per_word.get(word, 0) + 1
+            flips = [bit for bit in flips if per_word[bit // 64] != 1]
+        return flips
+
+
+def compile_trial(program: Program, module: DramModule) -> CompiledTrial:
+    """Compile a single-bank Algorithm 1 trial for hammer-count replay."""
+    return CompiledTrial(program, module)

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.bender.compiler import CompiledTrial, compile_trial
 from repro.bender.interpreter import Interpreter
 from repro.bender.platform import FpgaBoard, board_for
 from repro.bender.program import ProgramBuilder
@@ -51,6 +52,7 @@ class DramBender:
         self.init_radius = init_radius
         self.interpreter = Interpreter(module)
         self._adjacency: Dict[int, Dict[int, List[int]]] = {}
+        self._compiled_trials: Dict[tuple, CompiledTrial] = {}
 
     # ------------------------------------------------------------------
     # Testbed preparation (paper Sec. 3.1)
@@ -162,6 +164,43 @@ class DramBender:
             bank, physical, self.condition_for(pattern, t_agg_on)
         )
 
+    def compiled_trial(
+        self, bank: int, victim: int, pattern: DataPattern, t_agg_on: float
+    ) -> CompiledTrial:
+        """The compiled replay plan for ``run_trial`` at these operands.
+
+        Plans are cached per (bank, victim, pattern, effective tAggOn,
+        aggressor set): one compilation serves every hammer count of a
+        measurement sweep. See :mod:`repro.bender.compiler`.
+        """
+        aggressors = self.aggressors_for(bank, victim)
+        if not aggressors:
+            raise MeasurementError(
+                f"victim row {victim} has no physical neighbors to hammer"
+            )
+        effective_on = max(t_agg_on, self.module.timing.tRAS)
+        key = (
+            bank, victim, pattern.name, effective_on, tuple(aggressors),
+            self.init_radius,
+        )
+        plan = self._compiled_trials.get(key)
+        if plan is None:
+            builder = ProgramBuilder(f"trial-b{bank}-r{victim}")
+            builder.initialize_neighborhood(
+                bank,
+                victim,
+                aggressors,
+                pattern,
+                self.module.geometry.n_rows,
+                radius=self.init_radius,
+            )
+            # The hammer count is a replay operand; compile a placeholder.
+            builder.double_sided_round(bank, aggressors, 1, effective_on)
+            builder.read_row(bank, victim, "victim")
+            plan = compile_trial(builder.build(), self.module)
+            self._compiled_trials[key] = plan
+        return plan
+
     def run_trial(
         self,
         bank: int,
@@ -169,13 +208,21 @@ class DramBender:
         pattern: DataPattern,
         hammer_count: int,
         t_agg_on: float,
+        compiled: bool = False,
     ) -> List[int]:
         """One Algorithm 1 trial: initialize, hammer double-sided, compare.
+
+        With ``compiled=True`` the trial replays a cached compiled plan
+        (bit-identical results and device state; the scalar interpreter
+        below stays the oracle — see :mod:`repro.bender.compiler`).
 
         Returns:
             Bit positions (within the module row) that flipped in the
             victim; empty when the row survived.
         """
+        if compiled:
+            plan = self.compiled_trial(bank, victim, pattern, t_agg_on)
+            return plan.replay(self.interpreter, hammer_count)
         aggressors = self.aggressors_for(bank, victim)
         if not aggressors:
             raise MeasurementError(

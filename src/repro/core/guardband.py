@@ -19,7 +19,7 @@ from typing import Dict, List, Sequence, Set
 import numpy as np
 
 from repro.core.config import TestConfig
-from repro.core.montecarlo import probability_of_min
+from repro.core.montecarlo import _log_comb
 from repro.core.series import RdtSeries
 from repro.dram.module import DramModule
 from repro.errors import MeasurementError
@@ -49,18 +49,46 @@ def guardband_probability_analysis(
     probability that N uniformly chosen measurements contain a value within
     ``margin`` of the series minimum; reports the mean and the minimum
     across series (the circles and bars of Fig. 15).
+
+    Each series is sorted once; every (margin, N) cell is then evaluated
+    in O(1) from the sorted array (the within-margin count comes from one
+    ``searchsorted`` per margin), replacing the per-cell O(M) scans of
+    :func:`repro.core.montecarlo.probability_of_min` with the identical
+    closed form — results are bit-identical to the per-cell route.
     """
     if not series_list:
         raise MeasurementError("need at least one series")
+    sorted_values = [np.sort(series.require_valid()) for series in series_list]
+    sizes = [values.size for values in sorted_values]
     output: List[GuardbandProbability] = []
     for margin in margins:
+        if margin < 0:
+            raise MeasurementError("margin must be >= 0")
+        within_counts = [
+            int(
+                np.searchsorted(
+                    values, values[0] * (1.0 + margin), side="right"
+                )
+            )
+            for values in sorted_values
+        ]
         for n in n_values:
             probabilities = []
-            for series in series_list:
-                values = series.require_valid()
-                if n > values.size:
+            for m, k in zip(sizes, within_counts):
+                if n > m:
                     continue
-                probabilities.append(probability_of_min(values, n, within=margin))
+                if n < 1:
+                    raise MeasurementError(
+                        f"subset size {n} must be in [1, {m}]"
+                    )
+                if m - k < n:
+                    probabilities.append(1.0)
+                    continue
+                log_miss = float(
+                    _log_comb(np.array(m - k, dtype=float), float(n))
+                    - _log_comb(np.array(m, dtype=float), float(n))
+                )
+                probabilities.append(1.0 - float(np.exp(log_miss)))
             if not probabilities:
                 continue
             output.append(
@@ -120,6 +148,7 @@ def margin_bitflip_experiment(
     baseline_measurements: int = 5,
     trials: int = 10_000,
     bank: int = 0,
+    batched: bool = True,
 ) -> List[MarginBitflipResult]:
     """The Sec. 6.4 experiment for one row.
 
@@ -130,7 +159,11 @@ def margin_bitflip_experiment(
 
     Runs at the fault-model level (one latent sample + weak-cell evaluation
     per trial), which is exactly what a Bender trial at a fixed hammer count
-    observes, without the per-trial row rewrites.
+    observes, without the per-trial row rewrites. ``batched=True`` (the
+    default) runs each margin's trial loop through the device's
+    :meth:`~repro.dram.faults.RowVrdProcess.trial_flip_series` kernel —
+    bit-identical results and device state; ``batched=False`` keeps the
+    scalar measurement-per-trial reference.
     """
     if baseline_measurements < 1:
         raise MeasurementError("need at least one baseline measurement")
@@ -144,6 +177,7 @@ def margin_bitflip_experiment(
     )
     observed_min = float(baseline.min())
 
+    weak_bits = [int(bit) for bit in process.weak_cell_bits]
     results = []
     for margin in margins:
         if not 0.0 < margin < 1.0:
@@ -157,12 +191,20 @@ def margin_bitflip_experiment(
             hammer_count=hammer_count,
             trials=trials,
         )
-        for _ in range(trials):
-            process.begin_measurement(condition)
-            flips = process.trial_flips(condition, float(hammer_count))
-            if flips:
-                result.flipping_trials += 1
-                result.unique_flips.update(flips)
+        if batched:
+            matrix = process.trial_flip_series(
+                condition, float(hammer_count), trials
+            )
+            result.flipping_trials = int(matrix.any(axis=1).sum())
+            for column in np.nonzero(matrix.any(axis=0))[0]:
+                result.unique_flips.add(weak_bits[column])
+        else:
+            for _ in range(trials):
+                process.begin_measurement(condition)
+                flips = process.trial_flips(condition, float(hammer_count))
+                if flips:
+                    result.flipping_trials += 1
+                    result.unique_flips.update(flips)
         results.append(result)
     return results
 

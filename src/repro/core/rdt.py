@@ -110,11 +110,19 @@ class RdtMeasurementResult:
 
 
 class RdtMeter:
-    """Algorithm 1 over the full DRAM Bender trial path."""
+    """Algorithm 1 over the full DRAM Bender trial path.
 
-    def __init__(self, bender: "DramBender", bank: int = 0):
+    ``compiled=True`` routes every trial through the host's compiled replay
+    plans (:mod:`repro.bender.compiler`): the trial program is compiled
+    once per (victim, pattern, tAggOn) and replayed with per-trial hammer
+    counts — bit-identical results and device state, with the scalar
+    interpreter retained as the oracle.
+    """
+
+    def __init__(self, bender: "DramBender", bank: int = 0, compiled: bool = False):
         self.bender = bender
         self.bank = bank
+        self.compiled = compiled
 
     @property
     def module(self) -> DramModule:
@@ -139,6 +147,7 @@ class RdtMeter:
                 config.pattern,
                 int(hammer_count),
                 config.t_agg_on_ns,
+                compiled=self.compiled,
             )
             if flips:
                 return RdtMeasurementResult(
@@ -200,7 +209,12 @@ class RdtMeter:
         )
         while hammer_count <= DEFAULT_SEARCH_CEILING:
             flips = self.bender.run_trial(
-                self.bank, victim, config.pattern, hammer_count, config.t_agg_on_ns
+                self.bank,
+                victim,
+                config.pattern,
+                hammer_count,
+                config.t_agg_on_ns,
+                compiled=self.compiled,
             )
             if flips:
                 return float(hammer_count)

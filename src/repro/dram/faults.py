@@ -687,6 +687,92 @@ class RowVrdProcess:
                 flips.append(bit)
         return flips
 
+    def trial_flip_series(
+        self,
+        condition: Condition,
+        effective_hammers: float,
+        n: int,
+    ) -> np.ndarray:
+        """Flip outcomes of ``n`` successive measurement+trial rounds.
+
+        State- and stream-identical to ``n`` iterations of the scalar pair
+        ``begin_measurement(condition)`` + ``trial_flips(condition,
+        effective_hammers)`` — same RNG consumption, same final occupancy
+        and latent state — returning an ``(n, weak_cells)`` boolean matrix
+        whose columns follow ``weak_cell_bits`` order. There is no
+        ``already_flipped`` exclusion: callers rewrite the row between
+        trials, as :func:`repro.core.guardband.margin_bitflip_experiment`
+        does.
+
+        The batching replaces ~(traps + cells) scalar RNG calls per trial
+        with two array draws; the latent chain itself stays a scalar
+        ``math`` recurrence because its sequential ``+=``/``math.exp`` ops
+        cannot be re-associated without breaking bit-identity (``np.exp``
+        may differ from ``math.exp`` in the last ULP). Cell jitters are
+        only exponentiated for candidate cells: ``exp(abs(z)) >= 1``, so a
+        cell with ``effective_hammers`` below its unjittered threshold can
+        never flip.
+        """
+        if effective_hammers < 0:
+            raise ConfigurationError("effective hammer count must be >= 0")
+        condition = condition.canonical()
+        state = self._state(condition)
+        factors = self.factors(condition)
+        margins = self._cell_margins_for(condition.pattern)
+        weakest = int(np.argmin(margins))
+        n_cells = len(margins)
+        margins_plus1 = 1.0 + margins
+        traps = self.traps
+        n_traps = len(traps)
+        p_occupy = [trap.p_occupy for trap in traps]
+        p_release = [trap.p_release for trap in traps]
+        # Pure per-trap function of (depth, factors); the scalar refresh
+        # recomputes it every measurement with these exact operations.
+        log_terms = [
+            math.log1p(-min(trap.depth * factors.depth_factor, 0.95))
+            for trap in traps
+        ]
+        base = self.base_rdt * factors.rdt_factor
+        sigma_resid = self.sigma_resid
+        jitter_sigma = self.params.cell_jitter_sigma
+        rng = state.rng
+        occupancy = list(state.occupancy)
+        flips = np.zeros((n, n_cells), dtype=bool)
+        latent = state.latent_rdt
+        for trial in range(n):
+            # One uniform per trap (Trap.step order), then the residual
+            # normal, then one jitter normal per non-weakest cell.
+            u = rng.random(n_traps)
+            z = rng.standard_normal(n_cells)
+            log_mult = 0.0
+            for index in range(n_traps):
+                occupied = occupancy[index]
+                if u[index] < (
+                    p_release[index] if occupied else p_occupy[index]
+                ):
+                    occupied = not occupied
+                    occupancy[index] = occupied
+                if occupied:
+                    log_mult += log_terms[index]
+            noise = math.exp(sigma_resid * z[0])
+            latent = base * math.exp(log_mult) * noise
+            thresholds = latent * margins_plus1
+            row = flips[trial]
+            if effective_hammers >= thresholds[weakest]:
+                row[weakest] = True
+            for index in np.nonzero(effective_hammers >= thresholds)[0]:
+                if index == weakest:
+                    continue
+                slot = 1 + (index if index < weakest else index - 1)
+                jitter = math.exp(abs(jitter_sigma * z[slot]))
+                if effective_hammers >= thresholds[index] * jitter:
+                    row[index] = True
+        if n > 0:
+            state.occupancy = occupancy
+            state.latent_rdt = latent
+            state.measurement_index += n
+        return flips
+
 
 def probe_guess_means(
     params: VrdModelParams,

@@ -58,6 +58,32 @@ class _TrrSampler:
                 if self.counts[key] <= 0:
                     del self.counts[key]
 
+    def observe_repeat(self, physical_row: int, repeats: int) -> None:
+        """State-identical to ``repeats`` successive ``observe`` calls.
+
+        Closed form for the three scalar regimes: a tracked row absorbs all
+        ``repeats`` as increments; an untracked row with table space starts
+        at ``repeats``; on a full table the first ``min(counts)`` misses
+        decrement every counter (evicting the minima), after which the row
+        is inserted and counts the remaining hits.
+        """
+        if repeats <= 0:
+            return
+        counts = self.counts
+        if physical_row in counts:
+            counts[physical_row] += repeats
+            return
+        if len(counts) < self.table_size:
+            counts[physical_row] = repeats
+            return
+        rounds = min(min(counts.values()), repeats)
+        for key in list(counts):
+            counts[key] -= rounds
+            if counts[key] <= 0:
+                del counts[key]
+        if repeats > rounds:
+            counts[physical_row] = repeats - rounds
+
     def top_aggressor(self) -> Optional[int]:
         if not self.counts:
             return None
@@ -151,9 +177,7 @@ class DramModule:
         if self.mode.trr_enabled:
             mapping = self.bank(bank).mapping
             for row in rows:
-                physical = mapping.to_physical(row)
-                for _ in range(min(count, 64)):
-                    self._trr.observe(physical)
+                self._trr.observe_repeat(mapping.to_physical(row), min(count, 64))
         return end
 
     def write_row(self, bank: int, row: int, data: np.ndarray, at: float) -> None:

@@ -17,8 +17,10 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, Iterable, List, Optional
+
+import numpy as np
 
 from repro.core.config import TestConfig
 from repro.core.rdt import FastRdtMeter, HammerSweep
@@ -34,8 +36,10 @@ DEFAULT_HISTORY_LIMIT = 4096
 class RowProfile:
     """Live profiling state of one row.
 
-    ``history`` is a ring buffer: once full, appending evicts the oldest
-    measurement, keeping memory constant over arbitrarily long runs.
+    ``history`` is ``None`` unless the owning profiler was built with
+    ``keep_history=True``; when present it is a ring buffer — once full,
+    appending evicts the oldest measurement, keeping memory constant over
+    arbitrarily long runs.
     """
 
     row: int
@@ -44,9 +48,7 @@ class RowProfile:
     min_rdt: float = math.inf
     last_rdt: float = math.nan
     failed_sweeps: int = 0
-    history: Deque[float] = field(
-        default_factory=lambda: deque(maxlen=DEFAULT_HISTORY_LIMIT)
-    )
+    history: Optional[Deque[float]] = None
 
     @property
     def has_estimate(self) -> bool:
@@ -70,9 +72,23 @@ class OnlineRdtProfiler:
             threshold).
         keep_history: Retain recent measured values per row (useful for
             analysis). Retention is a ring buffer of ``history_limit``
-            entries per row, so long runs stay memory-bounded.
+            entries per row, so long runs stay memory-bounded. When
+            ``False`` (the default) no history storage is allocated at all
+            and ``RowProfile.history`` stays ``None``.
         history_limit: Ring size of each row's history. ``None`` keeps an
-            unbounded list (only for short analysis runs).
+            unbounded deque (only for short analysis runs).
+        prefetch: ``0`` (the default) measures one value at a time through
+            the scalar device process — the legacy reference behavior.
+            A positive value batches measurement rounds through
+            :meth:`~repro.core.rdt.FastRdtMeter.measure_series_batch`:
+            whenever a row's buffer runs dry, one bulk call refills
+            ``prefetch`` measurements for every same-epoch row at once,
+            and ``idle_tick`` consumes the buffers. Batched rounds draw
+            from per-epoch ``"online-{epoch}"`` streams, so the measured
+            values are not bitwise-equal to the ``prefetch=0`` sequence
+            (which ticks the device process measurement by measurement) —
+            statistically they sample the same VRD process, and within
+            prefetch mode runs are fully deterministic.
     """
 
     def __init__(
@@ -84,6 +100,7 @@ class OnlineRdtProfiler:
         strategy: str = "round_robin",
         keep_history: bool = False,
         history_limit: Optional[int] = DEFAULT_HISTORY_LIMIT,
+        prefetch: int = 0,
     ):
         if strategy not in ("round_robin", "focus_min"):
             raise ConfigurationError(f"unknown strategy {strategy!r}")
@@ -91,21 +108,34 @@ class OnlineRdtProfiler:
             raise ConfigurationError(
                 f"history_limit must be positive, got {history_limit}"
             )
+        if prefetch < 0:
+            raise ConfigurationError(
+                f"prefetch must be >= 0, got {prefetch}"
+            )
         self.module = module
         self.config = config
         self.bank = bank
         self.strategy = strategy
         self.keep_history = keep_history
         self.history_limit = history_limit
+        self.prefetch = prefetch
         self._meter = FastRdtMeter(module, bank)
         self._condition = config.condition(module.timing)
         self._profiles: Dict[int, RowProfile] = {
-            row: RowProfile(row, history=deque(maxlen=history_limit))
+            row: RowProfile(
+                row,
+                history=deque(maxlen=history_limit) if keep_history else None,
+            )
             for row in rows
         }
         if not self._profiles:
             raise ConfigurationError("profiler needs at least one row")
         self._order: List[int] = list(self._profiles)
+        self._buffers: Dict[int, Deque[float]] = {
+            row: deque() for row in self._order
+        }
+        self._cost_tables: Dict[int, "np.ndarray"] = {}
+        self._epochs: Dict[int, int] = {row: 0 for row in self._order}
         self._cursor = 0
         self._toggle = False
         self.time_spent_ns = 0.0
@@ -137,25 +167,72 @@ class OnlineRdtProfiler:
         )
         return init + hammer + read
 
+    def _cost_table(self, sweep: HammerSweep) -> "np.ndarray":
+        """Cumulative trial times over the sweep grid, computed once.
+
+        ``np.cumsum`` accumulates element-sequentially from the first grid
+        point, exactly like ``sum()`` over the same per-trial times, so the
+        table lookup is bit-identical to the summation it replaces.
+        """
+        table = self._cost_tables.get(id(sweep))
+        if table is None:
+            grid = sweep.grid()
+            table = np.cumsum([self._trial_time_ns(h) for h in grid])
+            self._cost_tables[id(sweep)] = table
+        return table
+
     def _measurement_cost_ns(self, sweep: HammerSweep, value: float) -> float:
         """Time of one full measurement (all trials up to the first flip)."""
         grid = sweep.grid()
+        table = self._cost_table(sweep)
         if math.isnan(value):
-            trials = grid
+            trials = grid.size
         else:
-            trials = grid[grid <= value]
-        return float(sum(self._trial_time_ns(h) for h in trials))
+            trials = int(np.searchsorted(grid, value, side="right"))
+        if trials == 0:
+            return 0.0
+        return float(table[trials - 1])
+
+    def _refill(self, row: int) -> None:
+        """Bulk-measure one prefetch round for ``row``'s epoch group.
+
+        All rows still on ``row``'s epoch whose buffers have run dry are
+        refilled by a single
+        :meth:`~repro.core.rdt.FastRdtMeter.measure_series_batch` call of
+        ``prefetch`` measurements each, drawn from that epoch's
+        ``"online-{epoch}"`` stream. Grouping keeps round-robin schedules
+        down to one bulk call per epoch; uneven schedules (``focus_min``)
+        simply refill smaller groups more often.
+        """
+        epoch = self._epochs[row]
+        group = [
+            member
+            for member in self._order
+            if self._epochs[member] == epoch and not self._buffers[member]
+        ]
+        series_list = self._meter.measure_series_batch(
+            group, self.config, self.prefetch, stream=f"online-{epoch}"
+        )
+        for member, series in zip(group, series_list):
+            self._buffers[member].extend(float(v) for v in series.values)
+            self._epochs[member] += 1
 
     def _measure_row(self, profile: RowProfile) -> float:
         """One RDT measurement of one row; returns its cost in ns."""
         sweep = self._sweep_for(profile)
-        mapping = self.module.bank(self.bank).mapping
-        process = self.module.fault_model.process(
-            self.bank, mapping.to_physical(profile.row)
-        )
-        process.begin_measurement(self._condition)
-        latent = process.current_threshold(self._condition)
-        measured = float(sweep.quantize([latent])[0])
+        if self.prefetch > 0:
+            buffer = self._buffers[profile.row]
+            if not buffer:
+                self._refill(profile.row)
+            measured = buffer.popleft()
+        else:
+            mapping = self.module.bank(self.bank).mapping
+            process = self.module.fault_model.process(
+                self.bank, mapping.to_physical(profile.row)
+            )
+            process.begin_measurement(self._condition)
+            latent = process.current_threshold(self._condition)
+            measured = float(sweep.quantize([latent])[0])
         cost = self._measurement_cost_ns(sweep, measured)
         profile.n_measurements += 1
         profile.last_rdt = measured
@@ -163,7 +240,7 @@ class OnlineRdtProfiler:
             profile.failed_sweeps += 1
         else:
             profile.min_rdt = min(profile.min_rdt, measured)
-            if self.keep_history:
+            if profile.history is not None:
                 profile.history.append(measured)
         self.measurements_done += 1
         self.time_spent_ns += cost

@@ -35,6 +35,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.config import TestConfig
+from repro.dram.faults import geometric_mirror_ok
 from repro.dram.module import DramModule
 from repro.errors import ConfigurationError
 from repro.mitigations.para import para_probability
@@ -86,6 +87,65 @@ def exposure_per_window(
     raise ConfigurationError(f"unknown mitigation kind {kind!r}")
 
 
+def exposure_windows(
+    kind: str,
+    threshold: float,
+    rng: np.random.Generator,
+    windows: int,
+    max_exposure: float = 1e7,
+    mint_dilution: float = 0.5,
+) -> np.ndarray:
+    """All per-window exposures of one attack run, drawn in one shot.
+
+    Bit-identical to ``windows`` successive :func:`exposure_per_window`
+    calls on the same generator: the deterministic kinds never touch the
+    RNG, and the geometric kinds use numpy's element-sequential batched
+    sampler (verified by the :func:`repro.dram.faults.geometric_mirror_ok`
+    probe; when that probe fails on an exotic numpy build, this falls back
+    to scalar draws and stays exact).
+    """
+    if windows < 1:
+        raise ConfigurationError("need at least one window")
+    key = kind.strip().lower()
+    if key == "none":
+        return np.full(windows, max_exposure)
+    if threshold < 1.0:
+        raise ConfigurationError("threshold must be >= 1")
+    if key == "graphene":
+        return np.full(windows, min(threshold / 2.0, max_exposure))
+    if key == "prac":
+        return np.full(
+            windows, min(float(quantize_pow2(threshold * 0.8)), max_exposure)
+        )
+    if key == "para":
+        p = para_probability(threshold)
+        per_hammer = 1.0 - (1.0 - p) ** 2
+        if per_hammer >= 1.0:
+            return np.full(windows, 1.0)
+        if not geometric_mirror_ok():
+            return np.array(
+                [
+                    min(float(rng.geometric(per_hammer)), max_exposure)
+                    for _ in range(windows)
+                ]
+            )
+        draws = rng.geometric(per_hammer, size=windows).astype(float)
+        return np.minimum(draws, max_exposure)
+    if key == "mint":
+        interval = quantize_pow2(threshold / 4.0)
+        survive = min(max(mint_dilution, 0.0), 0.999)
+        per_interval = interval * (1.0 - survive) / 2.0
+        if not geometric_mirror_ok():
+            intervals = np.array(
+                [float(rng.geometric(1.0 - survive)) for _ in range(windows)]
+            )
+        else:
+            intervals = rng.geometric(1.0 - survive, size=windows).astype(float)
+        # Same elementwise op order as the scalar expression.
+        return np.minimum(intervals * interval / 2.0 + per_interval, max_exposure)
+    raise ConfigurationError(f"unknown mitigation kind {kind!r}")
+
+
 @dataclass
 class AttackOutcome:
     """Result of attacking one victim row for many refresh windows."""
@@ -113,11 +173,16 @@ def attack_escape(
     bank: int = 0,
     seed: int = 0,
     mint_dilution: float = 0.5,
+    batched: bool = True,
 ) -> AttackOutcome:
     """Attack one victim row for ``windows`` refresh windows.
 
     Returns at the first bitflip (the mitigation failed) or after all
-    windows (it held).
+    windows (it held). ``batched=True`` (the default) pre-draws every
+    window's exposure in one :func:`exposure_windows` call — bit-identical
+    outcomes, since the per-window generator is local to this run and the
+    device process still ticks window by window; ``batched=False`` keeps
+    the original scalar draw-per-window reference.
     """
     if windows < 1:
         raise ConfigurationError("need at least one window")
@@ -125,6 +190,13 @@ def attack_escape(
     process = module.fault_model.process(bank, mapping.to_physical(victim))
     condition = config.condition(module.timing)
     rng = derive(seed, "attack", module.module_id, bank, victim, kind)
+    exposures = (
+        exposure_windows(
+            kind, threshold, rng, windows, mint_dilution=mint_dilution
+        )
+        if batched
+        else None
+    )
 
     min_rdt = math.inf
     min_margin = math.inf
@@ -132,9 +204,12 @@ def attack_escape(
         process.begin_measurement(condition)
         rdt = process.current_threshold(condition)
         min_rdt = min(min_rdt, rdt)
-        exposure = exposure_per_window(
-            kind, threshold, rng, mint_dilution=mint_dilution
-        )
+        if exposures is None:
+            exposure = exposure_per_window(
+                kind, threshold, rng, mint_dilution=mint_dilution
+            )
+        else:
+            exposure = float(exposures[window])
         margin = (rdt - exposure) / rdt
         min_margin = min(min_margin, margin)
         if exposure >= rdt:

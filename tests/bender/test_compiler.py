@@ -1,0 +1,291 @@
+"""Equality tests for the Bender trace compiler.
+
+The scalar :class:`~repro.bender.interpreter.Interpreter` is the
+specification; :mod:`repro.bender.compiler` must reproduce it bit for bit —
+same reads, same ``elapsed_ns``, same command counts, same device state, and
+the same exception classes on malformed programs (raised up front at
+compile time instead of mid-run).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bender.compiler import (
+    CompiledProgram,
+    compile_program,
+    compile_trial,
+)
+from repro.bender.host import DramBender
+from repro.bender.interpreter import Interpreter
+from repro.bender.isa import ReadRow
+from repro.bender.program import Program, ProgramBuilder
+from repro.core.config import TestConfig
+from repro.core.patterns import CHECKERED0, ROWSTRIPE0
+from repro.core.rdt import FastRdtMeter, HammerSweep, RdtMeter
+from repro.errors import CommandSequenceError, ReproError
+from tests.conftest import make_module
+
+
+def fresh_module(seed=1234, **kwargs):
+    module = make_module(seed=seed, **kwargs)
+    module.disable_interference_sources()
+    return module
+
+
+def snapshot(interpreter):
+    """Observable interpreter + device state after a run."""
+    module = interpreter.module
+    state = {"now": interpreter.now, "counts": dict(interpreter.total_counts)}
+    for index in range(module.geometry.n_banks):
+        bank = module.bank(index)
+        state[index] = (
+            bank.open_row,
+            bank.opened_at,
+            bank.last_activate,
+            bank.last_precharge,
+            bank.last_write_end,
+            bank.activation_count,
+            sorted((row, bytes(data)) for row, data in bank._storage.items()),
+        )
+    return state
+
+
+def run_both(program, seed=1234):
+    """Run ``program`` scalar and compiled on twin modules.
+
+    Returns ``(outcome, scalar_state, compiled_state)`` where outcome is
+    ``("ok", scalar_result, compiled_result)`` or ``("err", exc_type)``
+    with both routes agreeing on the exception class.
+    """
+    scalar_interp = Interpreter(fresh_module(seed=seed))
+    compiled_interp = Interpreter(fresh_module(seed=seed))
+
+    scalar_exc = scalar_result = None
+    try:
+        scalar_result = scalar_interp.run(program)
+    except ReproError as exc:
+        scalar_exc = exc
+
+    compiled_exc = compiled_result = None
+    try:
+        plan = compile_program(program, compiled_interp.module)
+        compiled_result = plan.run(compiled_interp)
+    except ReproError as exc:
+        compiled_exc = exc
+
+    if scalar_exc is not None or compiled_exc is not None:
+        assert type(scalar_exc) is type(compiled_exc), (
+            f"scalar raised {scalar_exc!r}, compiled raised {compiled_exc!r}"
+        )
+        return ("err", type(scalar_exc)), None, None
+    return (
+        ("ok", scalar_result, compiled_result),
+        snapshot(scalar_interp),
+        snapshot(compiled_interp),
+    )
+
+
+def assert_results_equal(scalar, compiled):
+    assert compiled.elapsed_ns == scalar.elapsed_ns
+    assert compiled.command_counts == scalar.command_counts
+    assert sorted(compiled.reads) == sorted(scalar.reads)
+    for tag, data in scalar.reads.items():
+        np.testing.assert_array_equal(compiled.reads[tag], data)
+
+
+# ---------------------------------------------------------------------------
+# Randomized property equality
+# ---------------------------------------------------------------------------
+
+# Builder-level operations. write/read idioms emit valid ACT/op/PRE bursts;
+# raw act/pre/read ops inject the interpreter's error paths (ACT while open,
+# ReadRow with no open row, row mismatches); a tiny tag alphabet makes
+# duplicate read tags common.
+ops = st.one_of(
+    st.tuples(st.just("act"), st.integers(0, 1), st.integers(0, 63)),
+    st.tuples(st.just("pre"), st.integers(0, 1),
+              st.one_of(st.none(), st.floats(35.0, 500.0))),
+    st.tuples(st.just("wait"), st.floats(0.0, 1e5)),
+    st.tuples(st.just("write"), st.integers(0, 1), st.integers(0, 63),
+              st.integers(0, 255)),
+    st.tuples(st.just("read"), st.integers(0, 1), st.integers(0, 63),
+              st.sampled_from(["a", "b", "c", "d"])),
+    st.tuples(st.just("raw_read"), st.integers(0, 1), st.integers(0, 63),
+              st.sampled_from(["a", "b", "c", "d"])),
+    st.tuples(st.just("hammer"), st.integers(0, 1),
+              st.lists(st.integers(0, 63), min_size=1, max_size=2),
+              st.integers(0, 500), st.floats(35.0, 1e3)),
+)
+
+
+def build(sequence):
+    builder = ProgramBuilder("prop")
+    for op in sequence:
+        kind = op[0]
+        if kind == "act":
+            builder.act(op[1], op[2])
+        elif kind == "pre":
+            builder.pre(op[1], op[2])
+        elif kind == "wait":
+            builder.wait(op[1])
+        elif kind == "write":
+            builder.write_row(op[1], op[2], op[3])
+        elif kind == "read":
+            builder.read_row(op[1], op[2], op[3])
+        elif kind == "raw_read":
+            builder._program.instructions.append(ReadRow(op[1], op[2], op[3]))
+        elif kind == "hammer":
+            builder.hammer(op[1], op[2], op[3], op[4])
+    return builder.build()
+
+
+@given(sequence=st.lists(ops, max_size=16))
+@settings(max_examples=150, deadline=None)
+def test_compiled_matches_interpreter_on_random_programs(sequence):
+    program = build(sequence)
+    outcome, scalar_state, compiled_state = run_both(program)
+    if outcome[0] == "ok":
+        assert_results_equal(outcome[1], outcome[2])
+        assert compiled_state == scalar_state
+
+
+@given(sequence=st.lists(ops, max_size=16), seed=st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_compiled_matches_interpreter_across_seeds(sequence, seed):
+    program = build(sequence)
+    outcome, scalar_state, compiled_state = run_both(program, seed=seed)
+    if outcome[0] == "ok":
+        assert_results_equal(outcome[1], outcome[2])
+        assert compiled_state == scalar_state
+
+
+def test_command_estimate_matches_executed_counts():
+    """``Program.command_estimate`` equals the executed command totals for
+    builder-generated sweep programs (Appendix A accounting)."""
+    module = fresh_module()
+    columns = module.geometry.columns_per_row
+    for hammers in (0, 1, 777):
+        builder = ProgramBuilder("sweep")
+        builder.initialize_neighborhood(
+            0, 30, [29, 31], CHECKERED0, module.geometry.n_rows, radius=3
+        )
+        builder.double_sided_round(0, [29, 31], hammers, module.timing.tRAS)
+        builder.read_row(0, 30, "victim")
+        program = builder.build()
+
+        result = Interpreter(fresh_module()).run(program)
+        assert sum(result.command_counts.values()) == program.command_estimate(
+            columns
+        )
+
+        plan = compile_program(program, module)
+        compiled = plan.run(Interpreter(module))
+        assert sum(compiled.command_counts.values()) == program.command_estimate(
+            columns
+        )
+        module = fresh_module()
+
+
+# ---------------------------------------------------------------------------
+# Error paths surfaced at compile time
+# ---------------------------------------------------------------------------
+
+
+def test_duplicate_read_tags_raise_like_interpreter():
+    builder = ProgramBuilder("dup")
+    builder.write_row(0, 5, 0xAA)
+    builder.read_row(0, 5, "same").read_row(0, 5, "same")
+    outcome, _, _ = run_both(builder.build())
+    assert outcome[0] == "err"
+
+
+def test_read_without_open_row_raises_like_interpreter():
+    program = Program(name="no-open", instructions=[ReadRow(0, 5, "t")])
+    outcome, _, _ = run_both(program)
+    assert outcome[0] == "err"
+
+
+def test_compiled_requires_closed_bank_at_entry():
+    module = fresh_module()
+    interpreter = Interpreter(module)
+    program = ProgramBuilder("p").write_row(0, 5, 0xAA).build()
+    plan = compile_program(program, module)
+    # Open the touched bank behind the plan's back.
+    module.activate(0, 9, interpreter.now + 10.0)
+    with pytest.raises(CommandSequenceError):
+        plan.run(interpreter)
+
+
+def test_compiled_rejects_foreign_module():
+    from repro.errors import ProgramError
+
+    program = ProgramBuilder("p").write_row(0, 5, 0xAA).build()
+    plan = compile_program(program, fresh_module())
+    with pytest.raises(ProgramError):
+        plan.run(Interpreter(fresh_module()))
+
+
+# ---------------------------------------------------------------------------
+# Trial plans and the faithful meter
+# ---------------------------------------------------------------------------
+
+
+def test_compiled_trial_matches_run_trial_over_hammer_range():
+    scalar = DramBender(fresh_module())
+    compiled = DramBender(fresh_module())
+    t_on = scalar.module.timing.tRAS
+    for count in (0, 1, 500, 1500, 2500):
+        flips_scalar = scalar.run_trial(0, 40, CHECKERED0, count, t_on)
+        flips_compiled = compiled.run_trial(
+            0, 40, CHECKERED0, count, t_on, compiled=True
+        )
+        assert flips_compiled == flips_scalar
+    assert compiled.interpreter.now == scalar.interpreter.now
+    assert dict(compiled.interpreter.total_counts) == dict(
+        scalar.interpreter.total_counts
+    )
+
+
+def test_compiled_trial_with_interference_sources_enabled():
+    # TRR + ECC stay on: the compiled replay must drive the same TRR
+    # sampler decisions and the same on-die ECC view of the flips.
+    scalar = DramBender(make_module(seed=77))
+    compiled = DramBender(make_module(seed=77))
+    t_on = scalar.module.timing.tRAS
+    for count in (800, 1600, 2400):
+        assert compiled.run_trial(
+            0, 52, ROWSTRIPE0, count, t_on, compiled=True
+        ) == scalar.run_trial(0, 52, ROWSTRIPE0, count, t_on)
+    assert compiled.module._trr.counts == scalar.module._trr.counts
+
+
+def test_mixed_scalar_and_compiled_trials_share_state():
+    scalar = DramBender(fresh_module())
+    mixed = DramBender(fresh_module())
+    t_on = scalar.module.timing.tRAS
+    for index, count in enumerate((300, 900, 1500, 2100)):
+        use_compiled = index % 2 == 1
+        assert mixed.run_trial(
+            0, 44, CHECKERED0, count, t_on, compiled=use_compiled
+        ) == scalar.run_trial(0, 44, CHECKERED0, count, t_on)
+    assert mixed.interpreter.now == scalar.interpreter.now
+
+
+def test_rdt_meter_series_compiled_equals_scalar():
+    config_of = lambda module: TestConfig(
+        CHECKERED0, t_agg_on_ns=module.timing.tRAS
+    )
+    scalar_bender = DramBender(fresh_module())
+    compiled_bender = DramBender(fresh_module())
+    sweep = HammerSweep.from_guess(
+        FastRdtMeter(fresh_module()).guess_rdt(40, config_of(scalar_bender.module))
+    )
+    scalar = RdtMeter(scalar_bender).measure_series(
+        40, config_of(scalar_bender.module), 12, sweep=sweep
+    )
+    compiled = RdtMeter(compiled_bender, compiled=True).measure_series(
+        40, config_of(compiled_bender.module), 12, sweep=sweep
+    )
+    np.testing.assert_array_equal(compiled.values, scalar.values)
+    assert compiled_bender.interpreter.now == scalar_bender.interpreter.now

@@ -5,10 +5,12 @@ import pytest
 
 from repro.core.config import TestConfig
 from repro.core.guardband import (
+    GuardbandProbability,
     bit_error_rate,
     guardband_probability_analysis,
     margin_bitflip_experiment,
 )
+from repro.core.montecarlo import probability_of_min
 from repro.core.patterns import CHECKERED0
 from repro.core.series import RdtSeries
 from repro.errors import MeasurementError
@@ -116,3 +118,87 @@ class TestMarginBitflips:
         assert 0.0 <= ber <= 1.0
         with pytest.raises(MeasurementError):
             bit_error_rate([], 100)
+
+
+def reference_probability_analysis(series_list, margins, n_values):
+    """The pre-vectorization per-cell implementation, kept as the oracle."""
+    if not series_list:
+        raise MeasurementError("need at least one series")
+    output = []
+    for margin in margins:
+        for n in n_values:
+            probabilities = []
+            for series in series_list:
+                values = series.require_valid()
+                if n > values.size:
+                    continue
+                probabilities.append(
+                    probability_of_min(values, n, within=margin)
+                )
+            if not probabilities:
+                continue
+            output.append(
+                GuardbandProbability(
+                    margin=margin,
+                    n=n,
+                    mean_probability=float(np.mean(probabilities)),
+                    min_probability=float(np.min(probabilities)),
+                )
+            )
+    return output
+
+
+class TestVectorizedEquality:
+    def _series_list(self):
+        rng = np.random.default_rng(11)
+        series_list = []
+        for row in range(6):
+            values = rng.normal(2000.0, 150.0, size=400)
+            values[rng.random(400) < 0.02] = np.nan  # failed sweeps
+            series_list.append(RdtSeries(values, row=row))
+        return series_list
+
+    def test_analysis_matches_per_cell_reference(self):
+        series_list = self._series_list()
+        margins = (0.0, 0.05, 0.10, 0.30, 0.50)
+        n_values = (1, 3, 5, 10, 50, 399, 500)
+        fast = guardband_probability_analysis(series_list, margins, n_values)
+        reference = reference_probability_analysis(
+            series_list, margins, n_values
+        )
+        assert fast == reference
+
+    def test_analysis_rejects_bad_cells(self):
+        series_list = self._series_list()
+        with pytest.raises(MeasurementError):
+            guardband_probability_analysis(series_list, margins=(-0.1,))
+        with pytest.raises(MeasurementError):
+            guardband_probability_analysis(
+                series_list, margins=(0.1,), n_values=(0,)
+            )
+
+    def test_margin_experiment_batched_equals_scalar(self):
+        margins = (0.2, 0.4)
+        outcomes = {}
+        for batched in (True, False):
+            module = make_module(seed=21)
+            module.disable_interference_sources()
+            config = TestConfig(CHECKERED0, t_agg_on_ns=module.timing.tRAS)
+            results = margin_bitflip_experiment(
+                module, 120, config, margins=margins,
+                trials=400, batched=batched,
+            )
+            outcomes[batched] = [
+                (r.margin, r.hammer_count, r.flipping_trials,
+                 sorted(r.unique_flips))
+                for r in results
+            ]
+            # Post-experiment device state must also agree: drain one more
+            # latent value from the (stateful) vrd-seq stream.
+            process = module.fault_model.process(
+                0, module.bank(0).mapping.to_physical(120)
+            )
+            condition = config.condition(module.timing)
+            process.begin_measurement(condition)
+            outcomes[batched].append(process.current_threshold(condition))
+        assert outcomes[True] == outcomes[False]

@@ -104,3 +104,20 @@ def test_unknown_kind_rejected():
         make_module()  # fine
         from repro.dram.module import DramModule
         DramModule("X", kind="DDR9")
+
+
+def test_trr_observe_repeat_matches_scalar_loop():
+    """The closed-form bulk TRR update equals k successive observes."""
+    from repro.dram.module import _TrrSampler
+
+    rng = np.random.default_rng(3)
+    for _ in range(50):
+        fast = _TrrSampler(table_size=4)
+        scalar = _TrrSampler(table_size=4)
+        for _ in range(rng.integers(1, 12)):
+            row = int(rng.integers(0, 8))
+            repeats = int(rng.integers(0, 70))
+            fast.observe_repeat(row, repeats)
+            for _ in range(repeats):
+                scalar.observe(row)
+            assert fast.counts == scalar.counts

@@ -6,7 +6,12 @@ import pytest
 from repro.core.config import TestConfig
 from repro.core.patterns import CHECKERED0
 from repro.errors import ConfigurationError
-from repro.security import attack_escape, exposure_per_window, profile_and_attack
+from repro.security import (
+    attack_escape,
+    exposure_per_window,
+    exposure_windows,
+    profile_and_attack,
+)
 from tests.conftest import make_module
 
 
@@ -124,3 +129,57 @@ class TestProfileAndAttack:
                 module, 100, reference_config, "prac",
                 profile_measurements=5, margin=1.0,
             )
+
+
+class TestBatchedAttack:
+    """The batched exposure path must be bit-identical to scalar draws."""
+
+    def test_exposure_windows_match_scalar_draws(self):
+        for kind, threshold in (
+            ("graphene", 1000.0),
+            ("prac", 1000.0),
+            ("para", 1000.0),
+            ("para", 30.0),  # per_hammer >= 1 deterministic branch
+            ("mint", 1000.0),
+            ("none", 1.0),
+        ):
+            batched_rng = np.random.default_rng(7)
+            scalar_rng = np.random.default_rng(7)
+            batch = exposure_windows(kind, threshold, batched_rng, 500)
+            scalar = np.array(
+                [
+                    exposure_per_window(kind, threshold, scalar_rng)
+                    for _ in range(500)
+                ]
+            )
+            np.testing.assert_array_equal(batch, scalar)
+            # Both generators must have consumed the same stream.
+            assert batched_rng.random() == scalar_rng.random()
+
+    def test_attack_escape_batched_equals_scalar(self, reference_config):
+        for kind in ("para", "mint", "graphene", "none"):
+            batched_module = make_module(seed=5)
+            batched_module.disable_interference_sources()
+            scalar_module = make_module(seed=5)
+            scalar_module.disable_interference_sources()
+            config = TestConfig(
+                CHECKERED0, t_agg_on_ns=batched_module.timing.tRAS
+            )
+            batched = attack_escape(
+                batched_module, 100, config, kind, threshold=800.0,
+                windows=300, seed=3, batched=True,
+            )
+            scalar = attack_escape(
+                scalar_module, 100, config, kind, threshold=800.0,
+                windows=300, seed=3, batched=False,
+            )
+            assert batched == scalar
+
+    def test_exposure_windows_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            exposure_windows("para", 1000.0, rng, 0)
+        with pytest.raises(ConfigurationError):
+            exposure_windows("para", 0.5, rng, 10)
+        with pytest.raises(ConfigurationError):
+            exposure_windows("blockhammer", 1000.0, rng, 10)
