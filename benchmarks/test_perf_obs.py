@@ -1,0 +1,100 @@
+"""Observability overhead guard: tracing must be near-free when off.
+
+Two measurements back the acceptance bar:
+
+* **macro** — the epoch-batched memsim fast core runs a small Fig. 14-style
+  workload with the recorder disabled (the ``VRD_TRACE=0`` default) and
+  again under :func:`repro.obs.tracing`; both produce bit-identical results
+  and the traced route must stay within ``VRD_BENCH_OBS_MAX_OVERHEAD``
+  (default 1.25x) of the untraced one. With tracing *off* the only residual
+  cost in hot loops is a plain attribute check on the NOOP recorder, so the
+  untraced route is the shipped fast path — the number the existing
+  ``BENCH_memsim.json`` guards.
+* **micro** — per-call cost of the NOOP recorder itself
+  (``counter_add`` and the shared null span), asserted below
+  ``VRD_BENCH_OBS_MAX_NOOP_NS`` (default 1500 ns — generous; typical is
+  ~100 ns) so an accidental allocation or dict write in the disabled path
+  fails loudly.
+
+Results land in ``BENCH_obs.json`` at the repo root. Timed routes take the
+best of ``VRD_BENCH_OBS_REPS`` repetitions (default 3) to damp scheduler
+noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.memsim.sweep import SweepSpec, run_sweep
+
+REPS = int(os.environ.get("VRD_BENCH_OBS_REPS", 3))
+N_MIXES = int(os.environ.get("VRD_BENCH_OBS_MIXES", 2))
+MAX_OVERHEAD = float(os.environ.get("VRD_BENCH_OBS_MAX_OVERHEAD", 1.25))
+MAX_NOOP_NS = float(os.environ.get("VRD_BENCH_OBS_MAX_NOOP_NS", 1500.0))
+NOOP_CALLS = 200_000
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+SPEC = SweepSpec(n_mixes=N_MIXES, engine="fast", window_ns=30_000.0)
+
+
+def _best_of(route):
+    best, result = None, None
+    for _ in range(max(1, REPS)):
+        t0 = time.perf_counter()
+        result = route()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def _noop_ns_per_call() -> float:
+    recorder = obs.NOOP
+    t0 = time.perf_counter_ns()
+    for _ in range(NOOP_CALLS):
+        recorder.counter_add("bench.noop")
+        recorder.span("bench.noop")
+    return (time.perf_counter_ns() - t0) / (2 * NOOP_CALLS)
+
+
+def test_tracing_overhead_and_noop_cost():
+    assert not obs.enabled()  # the shipped default: recorder off
+
+    untraced_s, untraced = _best_of(lambda: run_sweep(SPEC))
+
+    def traced_route():
+        with obs.tracing() as recorder:
+            result = run_sweep(SPEC)
+        traced_route.counters = dict(recorder.counters)
+        return result
+
+    traced_s, traced = _best_of(traced_route)
+
+    # Tracing is a pure observer: bit-identical science either way.
+    assert traced.per_mix == untraced.per_mix
+    assert traced_route.counters.get("sweep.cells") == len(SPEC.cells())
+
+    noop_ns = min(_noop_ns_per_call() for _ in range(max(1, REPS)))
+    overhead = traced_s / untraced_s
+
+    record = {
+        "n_mixes": N_MIXES,
+        "grid_cells": len(SPEC.cells()),
+        "window_ns": SPEC.window_ns,
+        "reps": REPS,
+        "untraced_s": round(untraced_s, 4),
+        "traced_s": round(traced_s, 4),
+        "traced_overhead": round(overhead, 3),
+        "noop_ns_per_call": round(noop_ns, 1),
+        "max_overhead": MAX_OVERHEAD,
+        "max_noop_ns": MAX_NOOP_NS,
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nobs perf: {json.dumps(record)}")
+
+    assert overhead <= MAX_OVERHEAD
+    assert noop_ns <= MAX_NOOP_NS

@@ -12,6 +12,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro import obs
 from repro.chips import ModuleSpec, build_module, spec
 from repro.core import FastRdtMeter, RdtSeries, TestConfig
 from repro.core.campaign import Campaign, CampaignResult
@@ -147,6 +148,19 @@ def module_campaign(
     path) short-circuits the whole campaign — including row selection,
     which dominates its cost — when an identical recipe was stored before.
     """
+    recorder = obs.active()
+    with recorder.span("figures.module_campaign"):
+        return _module_campaign(
+            module_id, rows_per_block, n_measurements, patterns,
+            temperatures, t_agg_on_values, seed, n_jobs, cache,
+            select_block_rows,
+        )
+
+
+def _module_campaign(
+    module_id, rows_per_block, n_measurements, patterns, temperatures,
+    t_agg_on_values, seed, n_jobs, cache, select_block_rows,
+) -> CampaignResult:
     device = spec(module_id)
     module = build_module(device, seed=seed)
     module.disable_interference_sources()

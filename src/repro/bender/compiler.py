@@ -50,6 +50,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.bender.interpreter import ExecutionResult, Interpreter
 from repro.bender.isa import Act, Hammer, Pre, ReadRow, Wait, WriteRow
 from repro.bender.program import Program
@@ -491,6 +492,14 @@ class CompiledTrial:
             interpreter._bump(kind, amount)
         interpreter._bump("ACT", total_activations)
         interpreter._bump("PRE", total_activations)
+
+        recorder = obs.active()
+        if recorder.enabled:
+            recorder.counter_add("bender.replay.runs")
+            for kind, amount in self._static_counts.items():
+                recorder.counter_add(f"bender.commands.{kind}", amount)
+            recorder.counter_add("bender.commands.ACT", total_activations)
+            recorder.counter_add("bender.commands.PRE", total_activations)
 
         if module.mode.ecc_enabled and flips:
             per_word: Dict[int, int] = {}

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.bender.compiler import CompiledTrial, compile_trial
 from repro.bender.interpreter import Interpreter
 from repro.bender.platform import FpgaBoard, board_for
@@ -199,6 +200,7 @@ class DramBender:
             builder.read_row(bank, victim, "victim")
             plan = compile_trial(builder.build(), self.module)
             self._compiled_trials[key] = plan
+            obs.active().counter_add("bender.trial.compile")
         return plan
 
     def run_trial(
@@ -220,9 +222,14 @@ class DramBender:
             Bit positions (within the module row) that flipped in the
             victim; empty when the row survived.
         """
+        recorder = obs.active()
         if compiled:
+            if recorder.enabled:
+                recorder.counter_add("bender.trial.compiled")
             plan = self.compiled_trial(bank, victim, pattern, t_agg_on)
             return plan.replay(self.interpreter, hammer_count)
+        if recorder.enabled:
+            recorder.counter_add("bender.trial.interpreted")
         aggressors = self.aggressors_for(bank, victim)
         if not aggressors:
             raise MeasurementError(

@@ -15,6 +15,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro import obs
 from repro.bender.isa import Act, Hammer, Pre, ReadRow, Wait, WriteRow
 from repro.bender.program import Program
 from repro.dram.module import DramModule
@@ -135,6 +136,12 @@ class Interpreter:
                 bump("PRE", instruction.total_activations)
             else:  # pragma: no cover - exhaustive over the ISA
                 raise ProgramError(f"unknown instruction {instruction!r}")
+
+        recorder = obs.active()
+        if recorder.enabled:
+            recorder.counter_add("bender.interp.runs")
+            for kind, amount in run_counts.items():
+                recorder.counter_add(f"bender.commands.{kind}", amount)
 
         return ExecutionResult(
             program_name=program.name,

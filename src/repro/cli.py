@@ -8,7 +8,15 @@ Small, scriptable entry points onto the library's main experiments:
 * ``table3`` — the ECC outcome probabilities at a chosen bit error rate;
 * ``testtime`` — Appendix A testing-cost headline scenarios;
 * ``attack`` — profile-and-attack security check for one mitigation;
-* ``fig14`` — mitigation-overhead sweep (cached, sharded, fast core).
+* ``fig14`` — mitigation-overhead sweep (cached, sharded, fast core);
+* ``report`` — instrumented smoke workload + observability run report.
+
+Long-running commands (``measure``, ``profile``, ``fig14``) accept
+``--trace`` / ``--trace-out FILE``: the command runs under a
+:mod:`repro.obs` recorder and the run report is printed to stderr (or
+saved as JSON) after the normal output. ``VRD_TRACE=1`` achieves the same
+globally. Tracing never touches the seeded RNG streams, so every
+scientific output is bit-identical with tracing on or off.
 """
 
 from __future__ import annotations
@@ -18,6 +26,17 @@ import sys
 from typing import List, Optional
 
 from repro import __version__
+
+
+def _add_trace_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--trace", action="store_true",
+        help="collect spans/metrics and print a run report to stderr",
+    )
+    command.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the run report as JSON to FILE (implies --trace)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -42,6 +61,7 @@ def _build_parser() -> argparse.ArgumentParser:
     measure.add_argument("--temperature", type=float, default=50.0)
     measure.add_argument("--voltage", type=float, default=2.5)
     measure.add_argument("--seed", type=int, default=None)
+    _add_trace_flags(measure)
 
     profile = sub.add_parser(
         "profile", help="characterize a device's VRD profile (Sec. 5)"
@@ -68,6 +88,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "-o", "--output", default=None,
         help="save the campaign result to this JSON file",
     )
+    _add_trace_flags(profile)
 
     table3_cmd = sub.add_parser(
         "table3", help="ECC outcome probabilities (Table 3)"
@@ -129,11 +150,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="recompute even if the sweep is cached",
     )
+    _add_trace_flags(fig14)
 
     sub.add_parser(
         "verify",
         help="quick self-check: headline results land in their paper bands",
     )
+
+    report = sub.add_parser(
+        "report",
+        help="run an instrumented smoke workload across every subsystem "
+             "and print its observability report",
+    )
+    report.add_argument(
+        "--json", action="store_true",
+        help="print the report as JSON instead of tables",
+    )
+    report.add_argument(
+        "-o", "--output", default=None,
+        help="also save the JSON report to this file",
+    )
+    report.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="worker processes for the sweep stage (default: $VRD_JOBS, "
+             "else 1)",
+    )
+    report.add_argument("--seed", type=int, default=1234)
 
     return parser
 
@@ -383,8 +425,72 @@ def _cmd_verify() -> int:
     return 1 if failures else 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+def _report_workload(seed: int, jobs: Optional[int]) -> None:
+    """A small deterministic workload touching every instrumented layer:
+    probe + bulk series (faults/fastfaults), compiled and interpreted
+    Bender trials, fast and reference memsim cells, and both ECC decode
+    paths."""
+    from repro.bender.host import DramBender
+    from repro.core import CHECKERED0, FastRdtMeter, TestConfig
+    from repro.core.rdt import HammerSweep, RdtMeter, find_victim
+    from repro.dram.faults import VrdModelParams
+    from repro.dram.geometry import DramGeometry
+    from repro.dram.module import DramModule
+    from repro.ecc.analysis import default_codec, monte_carlo_outcomes
+    from repro.memsim.sweep import SweepSpec, run_sweep
+
+    geometry = DramGeometry(
+        n_banks=2, n_rows=1024, row_bits_per_chip=1024, n_chips=8
+    )
+    module = DramModule(
+        "OBS-SMOKE",
+        geometry=geometry,
+        vrd_params=VrdModelParams(mean_rdt=2000.0),
+        seed=seed,
+    )
+    module.disable_interference_sources()
+    config = TestConfig(CHECKERED0, t_agg_on_ns=module.timing.tRAS)
+
+    meter = FastRdtMeter(module)
+    guess, victim = find_victim(meter, range(64), config)
+    meter.measure_series_batch([victim, victim + 1], config, 50)
+
+    bender = DramBender(module)
+    sweep = HammerSweep.from_guess(guess)
+    RdtMeter(bender, compiled=True).measure(victim, config, sweep)
+    RdtMeter(bender, compiled=False).measure(victim, config, sweep)
+
+    cell = dict(mitigations=("PARA",), rdts=(1024.0,), margins=(0.0,),
+                n_mixes=1)
+    run_sweep(SweepSpec(window_ns=10_000.0, **cell), n_jobs=jobs, cache=None)
+    run_sweep(
+        SweepSpec(window_ns=5_000.0, engine="reference", **cell),
+        n_jobs=jobs, cache=None,
+    )
+
+    monte_carlo_outcomes(default_codec("SECDED"), 1e-4, trials=2048)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    with obs.tracing() as recorder:
+        with recorder.span("report.workload"):
+            _report_workload(args.seed, args.jobs)
+        report = obs.RunReport.from_recorder(
+            recorder,
+            command="report",
+            seed=args.seed,
+            jobs=args.jobs if args.jobs is not None else "auto",
+        )
+    print(report.to_json() if args.json else report.render())
+    if args.output:
+        report.save(args.output)
+        print(f"report saved to {args.output}", file=sys.stderr)
+    return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "devices":
         return _cmd_devices()
     if args.command == "measure":
@@ -403,7 +509,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_fig14(args)
     if args.command == "verify":
         return _cmd_verify()
+    if args.command == "report":
+        return _cmd_report(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
+    if not (getattr(args, "trace", False) or trace_out):
+        return _dispatch(args)
+
+    from repro import obs
+
+    with obs.tracing() as recorder:
+        code = _dispatch(args)
+        report = obs.RunReport.from_recorder(
+            recorder, command=args.command, exit_code=code
+        )
+    if trace_out:
+        report.save(trace_out)
+        print(f"trace report saved to {trace_out}", file=sys.stderr)
+    else:
+        print(report.render(), file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

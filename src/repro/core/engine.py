@@ -32,6 +32,7 @@ from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.campaign import CampaignResult, RowObservation
 from repro.core.config import TestConfig
 from repro.core.rdt import FastRdtMeter
@@ -92,16 +93,36 @@ def _worker_module(module_id: str, seed: int, disable_interference: bool):
     return module
 
 
-def _measure_units(args) -> Tuple[List[int], CampaignResult]:
+def _measure_units(args) -> Tuple[List[int], CampaignResult, Optional[dict]]:
     """Measure one shard of work units; runs inside a worker process.
 
     ``args`` is ``(module_id, seed, disable_interference, n_measurements,
-    units)`` with ``units`` a list of ``(unit_index, bank, row, config)``.
-    Returns the unit indices that produced observations (skipped
+    units, trace)`` with ``units`` a list of ``(unit_index, bank, row,
+    config)``. Returns the unit indices that produced observations (skipped
     never-flipping sweeps are omitted, like the serial loop) alongside the
-    partial result, so the parent can restore serial ordering.
+    partial result, so the parent can restore serial ordering, plus — when
+    ``trace`` asks for it — an :mod:`repro.obs` snapshot of the shard's
+    metrics for the parent to merge (``None`` otherwise; tracing never
+    touches the seeded RNG streams, so results are unchanged either way).
     """
-    module_id, seed, disable_interference, n_measurements, units = args
+    module_id, seed, disable_interference, n_measurements, units, trace = args
+    if trace:
+        with obs.tracing() as recorder:
+            with recorder.span("engine.worker"):
+                indices, partial = _measure_units_body(
+                    module_id, seed, disable_interference, n_measurements, units
+                )
+            recorder.counter_add("engine.worker_units", len(units))
+            return indices, partial, recorder.snapshot()
+    indices, partial = _measure_units_body(
+        module_id, seed, disable_interference, n_measurements, units
+    )
+    return indices, partial, None
+
+
+def _measure_units_body(
+    module_id, seed, disable_interference, n_measurements, units
+) -> Tuple[List[int], CampaignResult]:
     module = _worker_module(module_id, seed, disable_interference)
     meters: Dict[int, FastRdtMeter] = {}
     indices: List[int] = []
@@ -208,52 +229,83 @@ class CampaignEngine:
         <repro.core.campaign.Campaign.run_pairs>` on a freshly built module
         for any ``n_jobs``.
         """
-        pairs = [(int(bank), int(row)) for bank, row in pairs]
-        if not pairs:
-            raise MeasurementError("campaign needs at least one row")
-        if len(set(pairs)) != len(pairs):
-            raise MeasurementError("duplicate (bank, row) pairs in campaign")
+        recorder = obs.active()
+        with recorder.span("engine.run_pairs"):
+            pairs = [(int(bank), int(row)) for bank, row in pairs]
+            if not pairs:
+                raise MeasurementError("campaign needs at least one row")
+            if len(set(pairs)) != len(pairs):
+                raise MeasurementError(
+                    "duplicate (bank, row) pairs in campaign"
+                )
 
-        cache_key = None
-        if self.cache is not None:
-            cache_key = self.cache.key(
-                seed=self.seed,
-                module_id=self.module_id,
-                configs=self.configs,
-                n_measurements=self.n_measurements,
-                pairs=pairs,
+            cache_key = None
+            if self.cache is not None:
+                cache_key = self.cache.key(
+                    seed=self.seed,
+                    module_id=self.module_id,
+                    configs=self.configs,
+                    n_measurements=self.n_measurements,
+                    pairs=pairs,
+                )
+                cached = self.cache.load(cache_key)
+                if cached is not None:
+                    return cached
+
+            # Serial order: configuration-major, pairs in the given order.
+            units = [
+                (config_index * len(pairs) + pair_index, bank, row, config)
+                for config_index, config in enumerate(self.configs)
+                for pair_index, (bank, row) in enumerate(pairs)
+            ]
+            recorder.counter_add("engine.units", len(units))
+            recorder.gauge_set("engine.jobs", self.n_jobs)
+            partials = self._execute(units)
+
+            # Stitch with the existing merge (it validates shard
+            # disjointness), then restore the serial loop's observation
+            # order via the unit indices each worker reported.
+            index_of: Dict[Tuple[int, int, TestConfig], int] = {}
+            for indices, partial, _ in partials:
+                for unit_index, observation in zip(
+                    indices, partial.observations
+                ):
+                    index_of[
+                        (observation.bank, observation.row, observation.config)
+                    ] = unit_index
+            if recorder.enabled:
+                for _, _, snapshot in partials:
+                    if snapshot is not None:
+                        worker_span = snapshot["spans"].get("engine.worker")
+                        if worker_span is not None:
+                            recorder.histogram_observe(
+                                "engine.worker_wall_ns",
+                                worker_span["wall_ns"],
+                            )
+                    recorder.merge_snapshot(snapshot)
+                recorder.counter_add("engine.shards", len(partials))
+                recorder.counter_add(
+                    "engine.observations", len(index_of)
+                )
+                recorder.counter_add(
+                    "engine.skipped_units", len(units) - len(index_of)
+                )
+            result = partials[0][1]
+            for _, partial, _ in partials[1:]:
+                result = result.merge(partial)
+            result.observations.sort(
+                key=lambda observation: index_of[
+                    (observation.bank, observation.row, observation.config)
+                ]
             )
-            cached = self.cache.load(cache_key)
-            if cached is not None:
-                return cached
 
-        # Serial order: configuration-major, pairs in the given order.
-        units = [
-            (config_index * len(pairs) + pair_index, bank, row, config)
-            for config_index, config in enumerate(self.configs)
-            for pair_index, (bank, row) in enumerate(pairs)
-        ]
-        partials = self._execute(units)
+            if self.cache is not None and cache_key is not None:
+                self.cache.store(cache_key, result)
+            return result
 
-        # Stitch with the existing merge (it validates shard disjointness),
-        # then restore the serial loop's observation order via the unit
-        # indices each worker reported.
-        index_of: Dict[Tuple[int, int, TestConfig], int] = {}
-        for indices, partial in partials:
-            for unit_index, obs in zip(indices, partial.observations):
-                index_of[(obs.bank, obs.row, obs.config)] = unit_index
-        result = partials[0][1]
-        for _, partial in partials[1:]:
-            result = result.merge(partial)
-        result.observations.sort(
-            key=lambda obs: index_of[(obs.bank, obs.row, obs.config)]
-        )
-
-        if self.cache is not None and cache_key is not None:
-            self.cache.store(cache_key, result)
-        return result
-
-    def _execute(self, units) -> List[Tuple[List[int], CampaignResult]]:
+    def _execute(
+        self, units
+    ) -> List[Tuple[List[int], CampaignResult, Optional[dict]]]:
         if self.n_jobs == 1 or len(units) == 1:
             return [_measure_units(self._worker_args(units))]
         shards = [units[start::self.n_jobs] for start in range(self.n_jobs)]
@@ -273,6 +325,7 @@ class CampaignEngine:
             self.disable_interference,
             self.n_measurements,
             units,
+            obs.enabled(),
         )
 
 
@@ -287,9 +340,25 @@ class CampaignCache:
     Keys hash the complete recomputation recipe — root seed, module id,
     configuration grid, row list (or a driver-supplied selection recipe),
     and series length — so any parameter change is a clean miss. Values
-    are :mod:`repro.core.store` JSON files; corrupt or unreadable entries
-    degrade to misses rather than errors.
+    are :mod:`repro.core.store` JSON files. A truncated or otherwise
+    corrupted entry (e.g. a crashed writer or disk error) is detected on
+    load, counted under the ``cache.corrupt`` metric, *evicted* from disk,
+    and treated as a miss so the campaign recomputes cleanly —
+    ``tests/core/test_engine.py`` corrupts entries on disk to prove it.
     """
+
+    #: Exceptions that mark an on-disk entry as corrupt (as opposed to
+    #: merely absent/unreadable): JSON decode errors surface as
+    #: MeasurementError via load_campaign, while structurally mangled
+    #: payloads (wrong types, missing keys, non-dict roots) escape as the
+    #: raw lookup/coercion errors.
+    _CORRUPT_ERRORS = (
+        MeasurementError,
+        ValueError,
+        KeyError,
+        TypeError,
+        AttributeError,
+    )
 
     def __init__(self, root: "Path | str"):
         self.root = Path(root)
@@ -346,14 +415,34 @@ class CampaignCache:
         return self.root / f"{key}.json"
 
     def load(self, key: str) -> Optional[CampaignResult]:
-        """The cached campaign for ``key``, or ``None`` on a miss."""
+        """The cached campaign for ``key``, or ``None`` on a miss.
+
+        Corrupt entries are counted (``cache.corrupt``), evicted, and
+        reported as misses; plain misses and hits are counted too.
+        """
+        recorder = obs.active()
         path = self.path_for(key)
         if not path.exists():
+            recorder.counter_add("cache.miss")
             return None
         try:
-            return load_campaign(path)
-        except (MeasurementError, OSError):
-            return None  # treat corrupt/unreadable entries as misses
+            result = load_campaign(path)
+        except OSError:
+            recorder.counter_add("cache.miss")
+            return None  # unreadable (permissions, races): plain miss
+        except self._CORRUPT_ERRORS:
+            recorder.counter_add("cache.corrupt")
+            self.evict(key)
+            return None
+        recorder.counter_add("cache.hit")
+        return result
+
+    def evict(self, key: str) -> None:
+        """Remove one entry from disk (no-op if already gone)."""
+        try:
+            self.path_for(key).unlink()
+        except OSError:
+            pass
 
     def store(self, key: str, result: CampaignResult) -> None:
         """Persist a campaign under ``key`` (atomic within the cache dir)."""
@@ -365,3 +454,4 @@ class CampaignCache:
         finally:
             if tmp.exists():
                 tmp.unlink()
+        obs.active().counter_add("cache.store")

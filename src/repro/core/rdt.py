@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.config import TestConfig
 from repro.core.patterns import CHECKERED0, DataPattern  # noqa: F401 (DataPattern re-exported for callers)
 from repro.core.series import RdtSeries
@@ -166,6 +167,10 @@ class RdtMeter:
         if sweep is None:
             guess = self.guess_rdt(victim, config)
             sweep = HammerSweep.from_guess(guess)
+        recorder = obs.active()
+        if recorder.enabled:
+            recorder.counter_add("rdt.series.trial_path")
+            recorder.counter_add("rdt.measurements", n)
         values = np.empty(n)
         for index in range(n):
             values[index] = self.measure(victim, config, sweep).value
@@ -285,6 +290,10 @@ class FastRdtMeter:
         """``n`` successive grid-quantized measurements."""
         if sweep is None:
             sweep = HammerSweep.from_guess(self.guess_rdt(victim, config))
+        recorder = obs.active()
+        if recorder.enabled:
+            recorder.counter_add("rdt.series.fast")
+            recorder.counter_add("rdt.measurements", n)
         process = self._process(victim)
         latent = process.latent_series(self._condition(config), n, stream=stream)
         return RdtSeries(
@@ -317,6 +326,10 @@ class FastRdtMeter:
         victims = list(victims)
         if not victims:
             return []
+        recorder = obs.active()
+        if recorder.enabled:
+            recorder.counter_add("rdt.series.fast_batch", len(victims))
+            recorder.counter_add("rdt.measurements", len(victims) * n)
         condition = self._condition(config)
         mapping = self.module.bank(self.bank).mapping
         physical = [mapping.to_physical(victim) for victim in victims]
@@ -380,10 +393,13 @@ def find_victim(
     if config is None:
         config = TestConfig(CHECKERED0, t_agg_on_ns=35.0, temperature_c=50.0)
     rows = list(rows)
+    recorder = obs.active()
     if isinstance(meter, FastRdtMeter):
         for start in range(0, len(rows), FIND_VICTIM_CHUNK):
             chunk = rows[start:start + FIND_VICTIM_CHUNK]
             guesses = meter.guess_rdt_batch(chunk, config, repeats)
+            if recorder.enabled:
+                recorder.counter_add("rdt.find_victim.probed", len(chunk))
             for row, guess in zip(chunk, guesses.tolist()):
                 if guess < threshold:
                     return float(guess), row

@@ -37,6 +37,7 @@ import numpy as np
 
 from numpy.random import PCG64, Generator
 
+from repro import obs
 from repro.dram.traps import Trap, multiplier_series
 from repro.errors import ConfigurationError
 from repro.rng import derive, encode_element, hasher_prefix, seed_from_prefix
@@ -885,6 +886,12 @@ def probe_guess_means(
         charge_mode = 4
 
     use_fast = repeats <= 16 and geometric_mirror_ok()
+    recorder = obs.active()
+    if recorder.enabled:
+        recorder.counter_add("faults.probe_rows", len(rows))
+        recorder.counter_add(
+            "faults.probe.geometric" if use_fast else "faults.probe.fallback"
+        )
     states_buf = np.empty(64, dtype=bool)
     run_cums_buf = np.empty((64, repeats), dtype=np.int64)
     guesses = np.empty(len(rows))
@@ -1282,6 +1289,7 @@ class ModuleFaultModel:
                 true_cell_lookup=self._true_cell_lookup,
             )
             self._processes[key] = existing
+            obs.active().counter_add("faults.process.build")
         return existing
 
     def _seed_for_rows(self) -> int:
@@ -1325,7 +1333,9 @@ class ModuleFaultModel:
         rows = tuple(int(row) for row in rows)
         cached = self._bank_states.get(bank)
         if cached is not None and cached[0] == rows:
+            obs.active().counter_add("faults.bank_state.reuse")
             return cached[1]
+        obs.active().counter_add("faults.bank_state.build")
         state = BankVrdState(
             self.params,
             self.row_bits,

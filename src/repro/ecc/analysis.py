@@ -27,6 +27,7 @@ from typing import Dict, Optional
 import numpy as np
 from scipy import stats as scipy_stats
 
+from repro import obs
 from repro.ecc.base import OUTCOME_DETECTED, DecodeOutcome, EccCode
 from repro.ecc.chipkill import ChipkillSsc
 from repro.ecc.hamming import Sec72, Secded72
@@ -163,6 +164,18 @@ def monte_carlo_outcomes(
         wrong += int(np.count_nonzero(data_wrong))
         silent_wrong += int(np.count_nonzero(data_wrong & ~is_detected))
         done += chunk
+
+    recorder = obs.active()
+    if recorder.enabled:
+        scheme = type(code).__name__
+        recorder.counter_add(
+            "ecc.decode.batched" if batched else "ecc.decode.scalar", trials
+        )
+        recorder.counter_add(f"ecc.{scheme}.trials", trials)
+        recorder.counter_add(f"ecc.{scheme}.uncorrectable", wrong)
+        recorder.counter_add(f"ecc.{scheme}.undetectable", silent_wrong)
+        recorder.counter_add(f"ecc.{scheme}.detected", detected)
+
     return MonteCarloOutcome(
         scheme=type(code).__name__,
         trials=trials,

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.memsim.system import (
     _T_BL,
@@ -114,12 +115,28 @@ def run_fast(
             e.g. shared across the runs of a sweep. They must have been
             built from the same generator recipe as ``system``'s.
     """
+    recorder = obs.active()
+    with recorder.span("memsim.run_fast"):
+        return _run_fast(system, streams, recorder)
+
+
+def _run_fast(
+    system: MemorySystem,
+    streams: Optional[Sequence[CoreStream]],
+    recorder,
+) -> SimulationResult:
     config = system.config
     mitigation = system.mitigation
     if streams is None:
         streams = [CoreStream(source) for source in system._generators]
     elif len(streams) != 4:
         raise SimulationError("need one stream per core")
+
+    # Aggregates are recorded once per run, after the loop; the only
+    # tracing state the hot loop carries is two plain int increments on
+    # rare branches (epoch flush, exact step).
+    epochs = 0
+    exact_steps = 0
 
     # Array-backed batchers index (bank, row) tables, so they require rows
     # below config.n_rows — guaranteed for synthetic generators, unknown
@@ -216,6 +233,7 @@ def run_fast(
             batcher.on_refresh_window(start)
             next_window += t_refw
             budget = batcher.budget()
+            epochs += 1
 
         open_row = bank_open[bank_index]
         needs_act = open_row != row
@@ -258,6 +276,7 @@ def run_fast(
                 else:
                     take_step = True
             if take_step:
+                exact_steps += 1
                 if pending_banks:
                     batcher.on_activate_many(pending_banks, pending_rows)
                     pending_banks = []
@@ -310,4 +329,25 @@ def run_fast(
     if mitigation is not None:
         result.preventive_refreshes = mitigation.preventive_refreshes
         result.rank_blocks = mitigation.rank_blocks
+
+    if recorder.enabled:
+        recorder.counter_add("memsim.runs.fast")
+        recorder.counter_add("memsim.requests", sum(completed))
+        recorder.counter_add("memsim.row_hits", row_hits)
+        recorder.counter_add("memsim.row_misses", row_misses)
+        if batcher is not None:
+            recorder.counter_add("memsim.epochs", epochs)
+            recorder.counter_add("memsim.exact_steps", exact_steps)
+            recorder.counter_add(
+                "memsim.batched_activations", row_misses - exact_steps
+            )
+        if mitigation is not None:
+            recorder.counter_add(
+                f"mitigations.{mitigation.name}.preventive_refreshes",
+                result.preventive_refreshes,
+            )
+            recorder.counter_add(
+                f"mitigations.{mitigation.name}.rank_blocks",
+                result.rank_blocks,
+            )
     return result

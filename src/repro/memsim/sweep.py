@@ -34,6 +34,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.memsim.fastcore import CoreStream, run_fast
 from repro.memsim.metrics import geometric_mean, normalized_weighted_speedup
@@ -188,16 +189,40 @@ class SweepCache:
         return self.root / f"fig14-{key}.json"
 
     def load(self, key: str) -> Optional[SweepResult]:
+        """The cached sweep for ``key``, or ``None`` on a miss.
+
+        Like :meth:`CampaignCache.load
+        <repro.core.engine.CampaignCache.load>`: a truncated/corrupted
+        entry is counted under ``cache.corrupt``, evicted from disk, and
+        recomputed as a miss instead of crashing the sweep.
+        """
+        recorder = obs.active()
         path = self.path_for(key)
         if not path.exists():
+            recorder.counter_add("cache.miss")
             return None
         try:
             payload = json.loads(path.read_text())
             if payload.get("kind") != "fig14-sweep":
-                return None
-            return SweepResult.from_payload(payload)
-        except (ValueError, KeyError, TypeError, OSError, ConfigurationError):
-            return None  # corrupt/unreadable entries are misses
+                raise ValueError("wrong cache entry kind")
+            result = SweepResult.from_payload(payload)
+        except OSError:
+            recorder.counter_add("cache.miss")
+            return None  # unreadable (permissions, races): plain miss
+        except (ValueError, KeyError, TypeError, AttributeError,
+                ConfigurationError):
+            recorder.counter_add("cache.corrupt")
+            self.evict(key)
+            return None
+        recorder.counter_add("cache.hit")
+        return result
+
+    def evict(self, key: str) -> None:
+        """Remove one entry from disk (no-op if already gone)."""
+        try:
+            self.path_for(key).unlink()
+        except OSError:
+            pass
 
     def store(self, key: str, result: SweepResult) -> None:
         path = self.path_for(key)
@@ -208,6 +233,7 @@ class SweepCache:
         finally:
             if tmp.exists():
                 tmp.unlink()
+        obs.active().counter_add("cache.store")
 
 
 # ----------------------------------------------------------------------
@@ -242,9 +268,25 @@ def _worker_state(spec: SweepSpec):
     return state
 
 
-def _sweep_cells(args) -> List[Tuple[Cell, Dict[str, float]]]:
-    """Run one shard of grid cells; runs inside a worker process."""
-    spec, cells = args
+def _sweep_cells(args):
+    """Run one shard of grid cells; runs inside a worker process.
+
+    Returns ``(cell_results, snapshot)`` where ``snapshot`` is the
+    worker-local recorder snapshot (``None`` when tracing is off).
+    """
+    spec, cells, trace = args
+    if not trace:
+        return _sweep_cells_body(spec, cells), None
+    with obs.tracing() as recorder:
+        with recorder.span("sweep.worker"):
+            results = _sweep_cells_body(spec, cells)
+        recorder.counter_add("sweep.worker_cells", len(cells))
+        return results, recorder.snapshot()
+
+
+def _sweep_cells_body(
+    spec: SweepSpec, cells: Sequence[Cell]
+) -> List[Tuple[Cell, Dict[str, float]]]:
     config, mixes, streams, baselines = _worker_state(spec)
     results = []
     for rdt, margin, name in cells:
@@ -288,32 +330,50 @@ def run_sweep(
 
     spec = spec or SweepSpec()
     n_jobs = resolve_jobs(n_jobs)
+    recorder = obs.active()
 
-    cache_key = None
-    if cache is not None:
-        cache_key = cache.key(spec)
-        cached = cache.load(cache_key)
-        if cached is not None:
-            return cached
+    with recorder.span("sweep.run"):
+        cache_key = None
+        if cache is not None:
+            cache_key = cache.key(spec)
+            cached = cache.load(cache_key)
+            if cached is not None:
+                return cached
 
-    cells = spec.cells()
-    if n_jobs == 1 or len(cells) == 1:
-        partials = [_sweep_cells((spec, cells))]
-    else:
-        shards = [cells[start::n_jobs] for start in range(n_jobs)]
-        shards = [shard for shard in shards if shard]
-        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-            partials = list(
-                pool.map(_sweep_cells, [(spec, shard) for shard in shards])
-            )
+        cells = spec.cells()
+        recorder.counter_add("sweep.cells", len(cells))
+        recorder.gauge_set("sweep.jobs", n_jobs)
+        trace = obs.enabled()
+        if n_jobs == 1 or len(cells) == 1:
+            partials = [_sweep_cells((spec, cells, trace))]
+        else:
+            shards = [cells[start::n_jobs] for start in range(n_jobs)]
+            shards = [shard for shard in shards if shard]
+            recorder.counter_add("sweep.shards", len(shards))
+            with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+                partials = list(pool.map(
+                    _sweep_cells,
+                    [(spec, shard, trace) for shard in shards],
+                ))
 
-    by_cell = {cell: speedups for partial in partials
-               for cell, speedups in partial}
-    result = SweepResult(
-        spec=spec,
-        per_mix={cell: by_cell[cell] for cell in cells},
-    )
+        if recorder.enabled:
+            for _, snapshot in partials:
+                if snapshot is None:
+                    continue
+                worker_span = snapshot["spans"].get("sweep.worker")
+                if worker_span is not None:
+                    recorder.histogram_observe(
+                        "sweep.worker_wall_ns", worker_span["wall_ns"]
+                    )
+                recorder.merge_snapshot(snapshot)
 
-    if cache is not None and cache_key is not None:
-        cache.store(cache_key, result)
-    return result
+        by_cell = {cell: speedups for partial, _ in partials
+                   for cell, speedups in partial}
+        result = SweepResult(
+            spec=spec,
+            per_mix={cell: by_cell[cell] for cell in cells},
+        )
+
+        if cache is not None and cache_key is not None:
+            cache.store(cache_key, result)
+        return result

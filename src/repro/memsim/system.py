@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.memsim.trace import AddressGenerator, WorkloadMix
 from repro.mitigations.base import Mitigation, VICTIM_REFRESH_NS
@@ -147,6 +148,26 @@ class MemorySystem:
         :meth:`run_fast` produces bit-identical results through the
         epoch-batched core in :mod:`repro.memsim.fastcore`.
         """
+        recorder = obs.active()
+        with recorder.span("memsim.run_reference"):
+            result = self._run_reference()
+        if recorder.enabled:
+            recorder.counter_add("memsim.runs.reference")
+            recorder.counter_add("memsim.requests", result.total_requests)
+            recorder.counter_add("memsim.row_hits", result.row_hits)
+            recorder.counter_add("memsim.row_misses", result.row_misses)
+            if self.mitigation is not None:
+                name = self.mitigation.name
+                recorder.counter_add(
+                    f"mitigations.{name}.preventive_refreshes",
+                    result.preventive_refreshes,
+                )
+                recorder.counter_add(
+                    f"mitigations.{name}.rank_blocks", result.rank_blocks
+                )
+        return result
+
+    def _run_reference(self) -> SimulationResult:
         config = self.config
         arrivals = [0.0] * 4  # next request arrival per core
         completed = [0] * 4

@@ -54,6 +54,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.mitigations.base import (
     Mitigation,
     RFM_BLOCK_NS,
@@ -694,16 +695,24 @@ def make_batcher(
     generic path — the fast core uses it when row indices are not known to
     fit the ``n_rows`` tables (custom trace-driven address sources).
     """
+    batcher: MitigationBatcher
     if allow_tables:
         kind = type(mitigation)
         if kind is Para:
-            return ParaBatcher(mitigation)
-        if kind is Mint:
-            return MintBatcher(mitigation, n_banks)
-        if kind is Prac:
-            return PracBatcher(mitigation, n_banks, n_rows)
-        if kind is Graphene:
-            return GrapheneBatcher(mitigation, n_banks, n_rows)
-        if kind is BlockHammer:
-            return BlockHammerBatcher(mitigation, n_banks)
-    return GenericBatcher(mitigation)
+            batcher = ParaBatcher(mitigation)
+        elif kind is Mint:
+            batcher = MintBatcher(mitigation, n_banks)
+        elif kind is Prac:
+            batcher = PracBatcher(mitigation, n_banks, n_rows)
+        elif kind is Graphene:
+            batcher = GrapheneBatcher(mitigation, n_banks, n_rows)
+        elif kind is BlockHammer:
+            batcher = BlockHammerBatcher(mitigation, n_banks)
+        else:
+            batcher = GenericBatcher(mitigation)
+    else:
+        batcher = GenericBatcher(mitigation)
+    obs.active().counter_add(
+        f"mitigations.batcher.{type(batcher).__name__}"
+    )
+    return batcher

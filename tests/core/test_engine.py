@@ -98,9 +98,11 @@ def test_worker_shards_merge_to_serial_under_any_order(serial_result):
     shards = [units[0:1], units[5:2:-1], units[2:0:-1], units[6::2],
               units[7::2]]
     partials = [
-        _measure_units((MODULE_ID, SEED, True, N_MEASUREMENTS, shard))
+        _measure_units((MODULE_ID, SEED, True, N_MEASUREMENTS, shard, False))
         for shard in shards
     ]
+    assert all(snapshot is None for _, _, snapshot in partials)
+    partials = [(indices, partial) for indices, partial, _ in partials]
     for rotation in range(len(partials)):
         ordered = partials[rotation:] + partials[:rotation]
         index_of = {}
@@ -237,11 +239,55 @@ def test_cache_key_separates_every_recipe_axis():
         assert cache.key(**{**cache_key_kwargs, **change}) != base
 
 
-def test_corrupt_cache_entry_degrades_to_miss(tmp_path):
+@pytest.mark.parametrize("blob", [
+    "{not json",                         # truncated writer
+    "[]",                                # wrong payload root
+    '{"format_version": 999}',           # unsupported version
+    '{"format_version": 1}',             # right version, missing body
+], ids=["truncated", "wrong-root", "wrong-version", "missing-body"])
+def test_corrupt_cache_entry_is_counted_evicted_and_missed(tmp_path, blob):
+    from repro import obs
+
     cache = CampaignCache(tmp_path / "cache")
     key = "deadbeef"
-    cache.path_for(key).write_text("{not json")
-    assert cache.load(key) is None
+    cache.path_for(key).write_text(blob)
+    with obs.tracing() as recorder:
+        assert cache.load(key) is None
+    assert recorder.counters.get("cache.corrupt") == 1
+    assert "cache.hit" not in recorder.counters
+    assert not cache.path_for(key).exists()  # evicted from disk
+
+
+def test_corrupt_entry_recomputes_to_identical_result(tmp_path, serial_result):
+    from repro import obs
+
+    cache = CampaignCache(tmp_path / "cache")
+    _engine(n_jobs=1, cache=cache).run(ROWS)
+    [entry] = cache.root.glob("*.json")
+    entry.write_text(entry.read_text()[: entry.stat().st_size // 2])
+
+    with obs.tracing() as recorder:
+        recomputed = _engine(n_jobs=1, cache=cache).run(ROWS)
+    assert_identical(recomputed, serial_result)
+    assert recorder.counters.get("cache.corrupt") == 1
+    assert recorder.counters.get("cache.store") == 1  # re-stored after evict
+
+    with obs.tracing() as recorder:
+        assert_identical(_engine(n_jobs=1, cache=cache).run(ROWS), serial_result)
+    assert recorder.counters.get("cache.hit") == 1
+
+
+def test_unreadable_cache_entry_is_a_plain_miss(tmp_path):
+    from repro import obs
+
+    cache = CampaignCache(tmp_path / "cache")
+    key = "deadbeef"
+    cache.path_for(key).mkdir()  # exists but unreadable as a file: OSError
+    with obs.tracing() as recorder:
+        assert cache.load(key) is None
+    assert recorder.counters.get("cache.miss") == 1
+    assert "cache.corrupt" not in recorder.counters
+    assert cache.path_for(key).exists()  # not evicted: nothing to repair
 
 
 def test_cache_resolve_env(tmp_path, monkeypatch):

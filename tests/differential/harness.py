@@ -1,0 +1,275 @@
+"""Unified fast-path/oracle differential harness.
+
+Every fast path in this codebase carries the same promise: *bit-identical*
+results to a scalar oracle. Each subsystem already asserts its own pair in
+its own test file; this harness gives all of them one uniform shape — one
+seed builds one workload, the workload runs down both paths, and each
+outcome is reduced to a plain hashable fingerprint — so a single
+parametrized test sweeps every pair over randomized seeds, and a tracing
+on/off run of the same case proves instrumentation never perturbs results.
+
+The pairs covered:
+
+==================  ==================================  =========================
+name                oracle                              fast path
+==================  ==================================  =========================
+engine              serial ``Campaign.run``             ``CampaignEngine`` (2 jobs)
+memsim              ``MemorySystem.run``                ``memsim.fastcore.run_fast``
+fastfaults          per-row ``RowVrdProcess``           packed ``BankVrdState``
+bender              scalar ``Interpreter`` trials       compiled trial replay
+ecc                 per-codeword encode/decode          ``encode_batch``/``decode_batch``
+==================  ==================================  =========================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List
+
+#: Deterministically randomized seeds: drawn from a fixed-seed PRNG so runs
+#: are reproducible while still exercising arbitrary workload shapes.
+SEEDS: List[int] = random.Random(0x56524431).sample(range(1, 100_000), 3)
+
+
+@dataclass(frozen=True)
+class DifferentialCase:
+    """One fast-path/oracle pair under the unified harness."""
+
+    name: str
+    oracle: Callable[[int], object]
+    fast: Callable[[int], object]
+
+
+# ----------------------------------------------------------------------
+# engine: serial campaign loop vs parallel campaign engine
+# ----------------------------------------------------------------------
+
+_ENGINE_ROWS = [3, 17, 40]
+_ENGINE_N = 25
+
+
+def _engine_workload(seed: int):
+    from repro.chips import build_module
+    from repro.core import CHECKERED0, TestConfig
+
+    module = build_module("M1", seed=seed)
+    module.disable_interference_sources()
+    configs = [TestConfig(CHECKERED0, t_agg_on_ns=module.timing.tRAS)]
+    return module, configs
+
+
+def _campaign_fingerprint(result) -> tuple:
+    return tuple(
+        (
+            observation.bank,
+            observation.row,
+            observation.config.label(),
+            tuple(observation.series.values.tolist()),
+            observation.series.grid_step,
+        )
+        for observation in result.observations
+    )
+
+
+def engine_oracle(seed: int) -> tuple:
+    from repro.core.campaign import Campaign
+
+    module, configs = _engine_workload(seed)
+    campaign = Campaign(module, configs, n_measurements=_ENGINE_N)
+    return _campaign_fingerprint(campaign.run(_ENGINE_ROWS))
+
+
+def engine_fast(seed: int) -> tuple:
+    from repro.core.engine import CampaignEngine
+
+    module, configs = _engine_workload(seed)
+    engine = CampaignEngine(
+        "M1", configs, n_measurements=_ENGINE_N, seed=seed, n_jobs=2,
+    )
+    return _campaign_fingerprint(engine.run(_ENGINE_ROWS))
+
+
+# ----------------------------------------------------------------------
+# memsim: reference request loop vs epoch-batched fast core
+# ----------------------------------------------------------------------
+
+_MEMSIM_MITIGATIONS = ["Graphene", "PRAC", "PARA", "MINT", "BlockHammer"]
+
+
+def _memsim_workload(seed: int):
+    from repro.memsim.system import MemorySystem, SystemConfig
+    from repro.memsim.trace import standard_mixes
+    from repro.mitigations import build_mitigation
+
+    pick = random.Random(seed)
+    mix = pick.choice(standard_mixes(3))
+    name = pick.choice(_MEMSIM_MITIGATIONS)
+    threshold = pick.choice([256.0, 1024.0])
+    config = SystemConfig(window_ns=5_000.0, seed=seed)
+    return MemorySystem(mix, config, build_mitigation(name, threshold))
+
+
+def _memsim_fingerprint(result) -> tuple:
+    return (
+        result.mix_name,
+        result.mitigation_name,
+        tuple(result.requests_per_core),
+        tuple(result.total_latency_per_core),
+        result.row_hits,
+        result.row_misses,
+        result.preventive_refreshes,
+        result.rank_blocks,
+    )
+
+
+def memsim_oracle(seed: int) -> tuple:
+    return _memsim_fingerprint(_memsim_workload(seed).run())
+
+
+def memsim_fast(seed: int) -> tuple:
+    return _memsim_fingerprint(_memsim_workload(seed).run_fast())
+
+
+# ----------------------------------------------------------------------
+# fastfaults: per-row scalar VRD processes vs packed bank state
+# ----------------------------------------------------------------------
+
+_FAULT_SERIES_N = 40
+
+
+def _fault_workload(seed: int):
+    from tests.conftest import make_module
+
+    module = make_module("DIFF", seed=seed)
+    module.disable_interference_sources()
+    pick = random.Random(seed + 1)
+    rows = sorted(pick.sample(range(module.geometry.n_rows), 4))
+    from repro.core import CHECKERED0, TestConfig
+
+    config = TestConfig(
+        CHECKERED0,
+        t_agg_on_ns=module.timing.tRAS,
+        temperature_c=pick.choice([50.0, 80.0]),
+    )
+    return module, rows, config.condition(module.timing)
+
+
+def fastfaults_oracle(seed: int) -> tuple:
+    module, rows, condition = _fault_workload(seed)
+    model = module.fault_model
+    return tuple(
+        tuple(
+            model.process(0, row)
+            .latent_series(condition, _FAULT_SERIES_N)
+            .tolist()
+        )
+        for row in rows
+    )
+
+
+def fastfaults_fast(seed: int) -> tuple:
+    module, rows, condition = _fault_workload(seed)
+    matrix = module.fault_model.latent_series_bank(
+        0, rows, condition, _FAULT_SERIES_N
+    )
+    return tuple(tuple(series.tolist()) for series in matrix)
+
+
+# ----------------------------------------------------------------------
+# bender: scalar interpreter trials vs compiled replay
+# ----------------------------------------------------------------------
+
+def _bender_trials(seed: int, compiled: bool) -> tuple:
+    from tests.conftest import make_module
+
+    from repro.bender.host import DramBender
+    from repro.core import CHECKERED0, TestConfig
+
+    pick = random.Random(seed + 3)
+    victim = pick.randrange(50, 200)
+    # Straddle the small module's ~2000-activation mean RDT so some trials
+    # flip and some survive, with seed-dependent counts either way.
+    counts = sorted(pick.sample(range(500, 8000), 3)) + [12_000]
+
+    module = make_module(seed=seed)
+    module.disable_interference_sources()
+    bender = DramBender(module)
+    config = TestConfig(CHECKERED0, t_agg_on_ns=module.timing.tRAS)
+    bender.begin_measurement(0, victim, config.pattern, config.t_agg_on_ns)
+    flips = tuple(
+        tuple(bender.run_trial(
+            0, victim, config.pattern, count, config.t_agg_on_ns,
+            compiled=compiled,
+        ))
+        for count in counts
+    )
+    totals = tuple(sorted(bender.interpreter.total_counts.items()))
+    return flips, bender.interpreter.now, totals
+
+
+def bender_oracle(seed: int) -> tuple:
+    return _bender_trials(seed, compiled=False)
+
+
+def bender_fast(seed: int) -> tuple:
+    return _bender_trials(seed, compiled=True)
+
+
+# ----------------------------------------------------------------------
+# ecc: scalar per-codeword decode vs vectorized batch decode
+# ----------------------------------------------------------------------
+
+_ECC_TRIALS = 4096
+
+
+class _ScalarOnly:
+    """Hides ``encode_batch``/``decode_batch`` to force the scalar path."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def __getattr__(self, name):
+        if name in ("encode_batch", "decode_batch"):
+            raise AttributeError(name)
+        return getattr(self._inner, name)
+
+
+def _ecc_outcomes(seed: int, scalar: bool) -> tuple:
+    import numpy as np
+
+    from repro.ecc.analysis import default_codec, monte_carlo_outcomes
+
+    pick = random.Random(seed + 2)
+    code = default_codec(pick.choice(["SEC", "SECDED", "SSC"]))
+    ber = pick.choice([5e-5, 2e-4, 1e-3])
+    if scalar:
+        code = _ScalarOnly(code)
+    outcome = monte_carlo_outcomes(
+        code, ber, trials=_ECC_TRIALS, rng=np.random.default_rng(seed)
+    )
+    return (
+        outcome.trials,
+        outcome.uncorrectable,
+        outcome.undetectable,
+        outcome.detected,
+    )
+
+
+def ecc_oracle(seed: int) -> tuple:
+    return _ecc_outcomes(seed, scalar=True)
+
+
+def ecc_fast(seed: int) -> tuple:
+    return _ecc_outcomes(seed, scalar=False)
+
+
+# ----------------------------------------------------------------------
+
+CASES: List[DifferentialCase] = [
+    DifferentialCase("engine", engine_oracle, engine_fast),
+    DifferentialCase("memsim", memsim_oracle, memsim_fast),
+    DifferentialCase("fastfaults", fastfaults_oracle, fastfaults_fast),
+    DifferentialCase("bender", bender_oracle, bender_fast),
+    DifferentialCase("ecc", ecc_oracle, ecc_fast),
+]

@@ -1,0 +1,26 @@
+"""Every fast-path/oracle pair, swept over randomized seeds.
+
+Equality here is exact (``==`` on fingerprints of floats and ints), not
+statistical: the fast paths consume the same seeded RNG streams draw for
+draw as their oracles, so any drift is a bug.
+"""
+
+import pytest
+
+from tests.differential.harness import CASES, SEEDS
+
+CASE_IDS = [case.name for case in CASES]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+def test_fast_path_matches_oracle(case, seed):
+    assert case.fast(seed) == case.oracle(seed)
+
+
+@pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+def test_fingerprints_are_seed_sensitive(case):
+    """The fingerprint actually captures the workload: two different seeds
+    must not collapse to the same outcome (a degenerate fingerprint would
+    make the equality tests vacuous)."""
+    assert case.fast(SEEDS[0]) != case.fast(SEEDS[1])

@@ -92,6 +92,37 @@ def test_cache_corruption_degrades_to_miss(sweep, tmp_path):
     assert cache.load(cache.key(SPEC)) is not None
 
 
+def test_cache_corruption_is_counted_and_evicted(sweep, tmp_path):
+    from repro import obs
+
+    cache = SweepCache(tmp_path)
+    run_sweep(SPEC, cache=cache)
+    key = cache.key(SPEC)
+    path = cache.path_for(key)
+    for blob in (
+        "{not json",                    # truncated writer
+        "[]",                           # wrong payload root
+        '{"kind": "something-else"}',   # wrong entry kind
+        '{"kind": "fig14-sweep"}',      # right kind, missing body
+    ):
+        path.write_text(blob)
+        with obs.tracing() as recorder:
+            assert cache.load(key) is None
+        assert recorder.counters.get("cache.corrupt") == 1, blob
+        assert "cache.hit" not in recorder.counters, blob
+        assert not path.exists(), blob  # evicted from disk
+
+    with obs.tracing() as recorder:
+        recomputed = run_sweep(SPEC, cache=cache)
+    assert recomputed.per_mix == sweep.per_mix
+    assert recorder.counters.get("cache.miss") == 1
+    assert recorder.counters.get("cache.store") == 1
+
+    with obs.tracing() as recorder:
+        assert run_sweep(SPEC, cache=cache).per_mix == sweep.per_mix
+    assert recorder.counters.get("cache.hit") == 1
+
+
 def test_payload_roundtrip(sweep):
     payload = json.loads(json.dumps(sweep.to_payload()))
     restored = SweepResult.from_payload(payload)
