@@ -1,0 +1,158 @@
+"""Adaptive-schedule perf guard: trials saved vs the exhaustive campaign.
+
+Runs the Fig. 1/Fig. 7-style workload (one device, one condition, a spread
+of rows, 1000-measurement series) down both schedules:
+
+* **exhaustive** — Algorithm 1 as the paper runs it: every row gets the
+  full ``N_MEASUREMENTS``-long series, every measurement sweeps the
+  hammer-count grid linearly to its first flip. Trials are counted exactly
+  from the measured flip positions.
+* **adaptive** — :class:`~repro.core.adaptive.AdaptiveScheduler`:
+  coarse-to-fine search per measurement plus sequential early stopping
+  per row.
+
+The guard asserts the tentpole target: **>= 10x fewer trials** with every
+adaptive estimate inside its reported confidence interval of the
+exhaustive series mean (widened by that mean's own sampling noise). Wall
+time is recorded for context but not asserted: in simulation the batched
+exhaustive path amortizes better than the adaptive round trips, while on
+hardware cost is measured in trials — which is what Appendix A prices
+into days and megajoules.
+
+Results land in ``BENCH_adaptive.json`` at the repo root. Scale knobs:
+``VRD_BENCH_ADAPTIVE_ROWS`` (row count, default 16),
+``VRD_BENCH_ADAPTIVE_MEASUREMENTS`` (series length, default 1000),
+``VRD_BENCH_ADAPTIVE_REPS`` (timing repetitions, default 2).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.chips import build_module
+from repro.core import CHECKERED0, AdaptiveConfig, AdaptiveScheduler, TestConfig
+from repro.core.adaptive import exhaustive_sweep_trials
+from repro.core.rdt import FastRdtMeter, HammerSweep
+from repro.testtime import TestTimeEstimator
+
+MODULE_ID = "M1"
+N_ROWS = int(os.environ.get("VRD_BENCH_ADAPTIVE_ROWS", 16))
+N_MEASUREMENTS = int(
+    os.environ.get("VRD_BENCH_ADAPTIVE_MEASUREMENTS", 1000)
+)
+REPS = int(os.environ.get("VRD_BENCH_ADAPTIVE_REPS", 2))
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_adaptive.json"
+
+
+def _workload():
+    module = build_module(MODULE_ID)
+    module.disable_interference_sources()
+    config = TestConfig(CHECKERED0, t_agg_on_ns=module.timing.tRAS)
+    rows = list(range(0, 16 * N_ROWS, 16))
+    return module, config, rows
+
+
+def _head_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=RESULT_PATH.parent, capture_output=True, text=True,
+            timeout=10,
+        )
+        return out.stdout.strip() or "-"
+    except (OSError, subprocess.SubprocessError):
+        return "-"
+
+
+def test_adaptive_trial_reduction(tmp_path):
+    module, config, rows = _workload()
+    module.set_temperature(config.temperature_c)
+    meter = FastRdtMeter(module, 0)
+
+    # -- exhaustive route: full series, linear sweeps --------------------
+    exhaustive_s = None
+    for _ in range(max(1, REPS)):
+        t0 = time.perf_counter()
+        guesses = meter.guess_rdt_batch(rows, config)
+        series_list = meter.measure_series_batch(rows, config, N_MEASUREMENTS)
+        elapsed = time.perf_counter() - t0
+        exhaustive_s = (
+            elapsed if exhaustive_s is None else min(exhaustive_s, elapsed)
+        )
+    exhaustive_trials = sum(
+        exhaustive_sweep_trials(
+            series.values, HammerSweep.from_guess(float(guess))
+        )
+        for guess, series in zip(guesses, series_list)
+    )
+
+    # -- adaptive route ---------------------------------------------------
+    adaptive_config = AdaptiveConfig(max_measurements=N_MEASUREMENTS)
+    adaptive_s, result = None, None
+    for _ in range(max(1, REPS)):
+        t0 = time.perf_counter()
+        result = AdaptiveScheduler(module, [config], adaptive_config).run(rows)
+        elapsed = time.perf_counter() - t0
+        adaptive_s = elapsed if adaptive_s is None else min(adaptive_s, elapsed)
+
+    trial_reduction = exhaustive_trials / result.trials_spent
+
+    # -- accuracy: every estimate within its confidence bound -------------
+    contained = 0
+    for estimate, series in zip(result.estimates, series_list):
+        oracle_mean = float(np.nanmean(series.values))
+        oracle_std = float(np.nanstd(series.values))
+        bound = estimate.ci_half_width + (
+            3 * oracle_std / np.sqrt(N_MEASUREMENTS)
+        )
+        assert abs(estimate.estimate - oracle_mean) <= bound, (
+            f"row {estimate.row}: adaptive {estimate.estimate:.1f} vs "
+            f"exhaustive {oracle_mean:.1f} outside bound {bound:.1f}"
+        )
+        contained += 1
+
+    # -- Appendix A pricing of both schedules ------------------------------
+    estimator = TestTimeEstimator()
+    adaptive_days = estimator.adaptive_cost(
+        1000, module.timing.tRAS, result.trials_per_row(), n_banks=16
+    ).time_days
+    exhaustive_days = estimator.adaptive_cost(
+        1000, module.timing.tRAS, [exhaustive_trials], n_banks=16
+    ).time_days
+
+    record = {
+        "module": MODULE_ID,
+        "n_rows": len(rows),
+        "n_measurements": N_MEASUREMENTS,
+        "reps": REPS,
+        "confidence": adaptive_config.confidence,
+        "rel_precision": adaptive_config.rel_precision,
+        "exhaustive_trials": int(exhaustive_trials),
+        "adaptive_trials": int(result.trials_spent),
+        "trial_reduction": round(trial_reduction, 1),
+        "mean_measurements_per_row": round(
+            float(np.mean([e.n_measured for e in result.estimates])), 1
+        ),
+        "estimates_in_bound": f"{contained}/{len(result.estimates)}",
+        "exhaustive_s": round(exhaustive_s, 4),
+        "adaptive_s": round(adaptive_s, 4),
+        "wall_speedup": round(exhaustive_s / adaptive_s, 2),
+        "modeled_exhaustive_days": round(exhaustive_days, 4),
+        "modeled_adaptive_days": round(adaptive_days, 4),
+        "date": time.strftime("%Y-%m-%d"),
+        "commit": _head_commit(),
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nadaptive perf: {json.dumps(record)}")
+
+    assert trial_reduction >= 10.0, (
+        f"adaptive schedule saved only {trial_reduction:.1f}x trials"
+    )
+    assert result.stopping_reasons().get("converged", 0) >= len(rows) // 2

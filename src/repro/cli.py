@@ -9,7 +9,14 @@ Small, scriptable entry points onto the library's main experiments:
 * ``testtime`` — Appendix A testing-cost headline scenarios;
 * ``attack`` — profile-and-attack security check for one mitigation;
 * ``fig14`` — mitigation-overhead sweep (cached, sharded, fast core);
-* ``report`` — instrumented smoke workload + observability run report.
+* ``report`` — instrumented smoke workload + observability run report;
+* ``bench`` — aggregate every ``BENCH_*.json`` into one perf trajectory.
+
+``measure`` and ``profile`` accept ``--adaptive`` (plus ``--budget``,
+``--confidence``, ``--precision``): the run switches to the DiscoRD-style
+adaptive schedule of :mod:`repro.core.adaptive` — coarse-to-fine hammer
+search with sequential early stopping — and reports threshold estimates
+with confidence intervals and trials saved instead of full series.
 
 Long-running commands (``measure``, ``profile``, ``fig14``) accept
 ``--trace`` / ``--trace-out FILE``: the command runs under a
@@ -39,6 +46,38 @@ def _add_trace_flags(command: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_adaptive_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--adaptive", action="store_true",
+        help="DiscoRD-style adaptive schedule: coarse-to-fine search with "
+             "sequential early stopping instead of exhaustive series",
+    )
+    command.add_argument(
+        "--budget", type=int, default=None, metavar="TRIALS",
+        help="total trial budget for the adaptive run (default: unlimited)",
+    )
+    command.add_argument(
+        "--confidence", type=float, default=0.99,
+        help="confidence level of adaptive per-row intervals (default 0.99)",
+    )
+    command.add_argument(
+        "--precision", type=float, default=0.05,
+        help="adaptive stopping target: CI half-width as a fraction of the "
+             "running mean (default 0.05)",
+    )
+
+
+def _adaptive_config(args: argparse.Namespace):
+    from repro.core.adaptive import AdaptiveConfig
+
+    return AdaptiveConfig(
+        confidence=args.confidence,
+        rel_precision=args.precision,
+        max_measurements=args.measurements,
+        budget=args.budget,
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -61,6 +100,7 @@ def _build_parser() -> argparse.ArgumentParser:
     measure.add_argument("--temperature", type=float, default=50.0)
     measure.add_argument("--voltage", type=float, default=2.5)
     measure.add_argument("--seed", type=int, default=None)
+    _add_adaptive_flags(measure)
     _add_trace_flags(measure)
 
     profile = sub.add_parser(
@@ -88,7 +128,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "-o", "--output", default=None,
         help="save the campaign result to this JSON file",
     )
+    _add_adaptive_flags(profile)
     _add_trace_flags(profile)
+
+    bench = sub.add_parser(
+        "bench",
+        help="aggregate all BENCH_*.json records into one perf trajectory "
+             "table",
+    )
+    bench.add_argument(
+        "--dir", default=".", metavar="DIR",
+        help="directory holding BENCH_*.json files (default: .)",
+    )
+    bench.add_argument(
+        "--json", action="store_true",
+        help="print the aggregated records as JSON instead of a table",
+    )
 
     table3_cmd = sub.add_parser(
         "table3", help="ECC outcome probabilities (Table 3)"
@@ -211,6 +266,30 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         temperature_c=args.temperature,
         wordline_voltage_v=args.voltage,
     )
+    if args.adaptive:
+        from repro.core.adaptive import AdaptiveScheduler
+
+        result = AdaptiveScheduler(
+            module, [config], _adaptive_config(args)
+        ).run([args.row])
+        estimate = result.estimates[0]
+        print(
+            f"{args.module} row {args.row} | adaptive RDT estimate "
+            f"{estimate.estimate:,.0f} ± {estimate.ci_half_width:,.0f} "
+            f"({estimate.confidence:.0%} CI)"
+        )
+        print(
+            f"stopped after {estimate.n_measured} measurements "
+            f"({estimate.stopping_reason}); min seen {estimate.minimum:,.0f}"
+        )
+        print(
+            f"trials: {estimate.trials} adaptive vs "
+            f"{estimate.exhaustive_trials} exhaustive for the same "
+            f"measurements ({result.trial_reduction_estimate:.1f}x fewer "
+            f"vs a full {args.measurements}-measurement series)"
+        )
+        return 0
+
     meter = FastRdtMeter(module)
     series = meter.measure_series(args.row, config, args.measurements)
     print(series.describe())
@@ -232,6 +311,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.rng import DEFAULT_SEED
 
     cache = None if args.no_cache else CampaignCache.resolve(args.cache_dir)
+    if args.adaptive:
+        return _cmd_profile_adaptive(args, cache)
     result = module_campaign(
         args.module,
         rows_per_block=args.rows_per_block,
@@ -258,6 +339,148 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
         save_campaign(result, args.output)
         print(f"campaign saved to {args.output}")
+    return 0
+
+
+def _cmd_profile_adaptive(args: argparse.Namespace, cache) -> int:
+    import numpy as np
+
+    from repro.analysis.figures import adaptive_module_campaign
+    from repro.analysis.tables import format_table
+    from repro.rng import DEFAULT_SEED
+
+    result = adaptive_module_campaign(
+        args.module,
+        rows_per_block=args.rows_per_block,
+        n_measurements=args.measurements,
+        seed=args.seed if args.seed is not None else DEFAULT_SEED,
+        n_jobs=args.jobs,
+        cache=cache,
+        adaptive=_adaptive_config(args),
+    )
+    reasons = result.stopping_reasons()
+    rows = []
+    for config in {e.config: None for e in result.estimates}:
+        estimates = result.for_config(config)
+        measured = [e.n_measured for e in estimates]
+        rows.append((
+            config.label(),
+            len(estimates),
+            sum(1 for e in estimates if e.converged),
+            f"{float(np.mean(measured)):.1f}",
+            sum(e.trials for e in estimates),
+        ))
+    print(format_table(
+        ["config", "rows", "converged", "mean n", "trials"],
+        rows,
+        title=f"{args.module} | adaptive VRD profile "
+              f"({len(result)} row-condition estimates)",
+    ))
+    print(
+        f"trials spent: {result.trials_spent:,} "
+        f"(~{result.trial_reduction_estimate:.1f}x fewer than exhaustive "
+        f"{args.measurements}-measurement series); "
+        f"rounds: {result.rounds}; stopping: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(reasons.items()))
+    )
+    if args.output:
+        import json as json_module
+
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json_module.dump(result.to_payload(), handle)
+        print(f"adaptive result saved to {args.output}")
+    return 0
+
+
+#: Preferred headline metric per BENCH record, first match wins; files
+#: without any fall back to their first ``*_speedup``-like key.
+_BENCH_HEADLINES = (
+    "speedup",
+    "trial_reduction",
+    "compiled_speedup",
+    "combined_speedup",
+    "fast_speedup",
+    "stepping_speedup",
+    "traced_overhead",
+)
+
+
+def _bench_metrics(record: dict) -> "List[tuple]":
+    suffixes = ("speedup", "_reduction", "_overhead")
+    return [
+        (key, value)
+        for key, value in sorted(record.items())
+        if isinstance(value, (int, float))
+        and any(key == s or key.endswith(s) for s in suffixes)
+    ]
+
+
+def _bench_commit(path) -> str:
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "log", "-n", "1", "--pretty=%h", "--", path.name],
+            cwd=path.parent, capture_output=True, text=True, timeout=10,
+        )
+        return out.stdout.strip() or "-"
+    except (OSError, subprocess.SubprocessError):
+        return "-"
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import datetime
+    import json
+    from pathlib import Path
+
+    from repro.analysis.tables import format_table
+
+    root = Path(args.dir)
+    records = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"skipping {path.name}: {error}", file=sys.stderr)
+            continue
+        metrics = _bench_metrics(record)
+        headline = next(
+            (name for name in _BENCH_HEADLINES if record.get(name)), None
+        )
+        if headline is None and metrics:
+            headline = metrics[0][0]
+        date = record.get("date") or datetime.date.fromtimestamp(
+            path.stat().st_mtime
+        ).isoformat()
+        records.append({
+            "bench": path.stem[len("BENCH_"):],
+            "metric": headline or "-",
+            "value": record.get(headline) if headline else None,
+            "all_metrics": dict(metrics),
+            "date": date,
+            "commit": record.get("commit") or _bench_commit(path),
+        })
+    if args.json:
+        print(json.dumps(records, indent=2, sort_keys=True))
+        return 0
+    if not records:
+        print(f"no BENCH_*.json files under {root}")
+        return 1
+    rows = [
+        (
+            record["bench"],
+            record["metric"],
+            "-" if record["value"] is None else f"{record['value']:g}x",
+            record["date"],
+            record["commit"],
+        )
+        for record in records
+    ]
+    print(format_table(
+        ["bench", "metric", "speedup", "date", "commit"],
+        rows, title=f"perf trajectory ({len(records)} benchmarks)",
+    ))
     return 0
 
 
@@ -497,6 +720,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_measure(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "table3":
         return _cmd_table3(args)
     if args.command == "testtime":

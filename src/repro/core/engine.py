@@ -33,6 +33,12 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.core.adaptive import (
+    AdaptiveConfig,
+    AdaptiveDriver,
+    AdaptiveResult,
+    measure_requests,
+)
 from repro.core.campaign import CampaignResult, RowObservation
 from repro.core.config import TestConfig
 from repro.core.rdt import FastRdtMeter
@@ -43,6 +49,9 @@ from repro.core.store import (
 )
 from repro.errors import ConfigurationError, MeasurementError
 from repro.rng import DEFAULT_SEED
+
+#: Measurement schedules the engine can execute.
+SCHEDULES = ("exhaustive", "adaptive")
 
 #: Environment variable consulted when a job count is not given explicitly.
 JOBS_ENV_VAR = "VRD_JOBS"
@@ -120,6 +129,27 @@ def _measure_units(args) -> Tuple[List[int], CampaignResult, Optional[dict]]:
     return indices, partial, None
 
 
+def _adaptive_measure_units(args):
+    """Serve one shard of adaptive measurement requests in a worker.
+
+    ``args`` is ``(module_id, seed, disable_interference, requests,
+    trace)`` with ``requests`` a list of
+    :data:`repro.core.adaptive.MeasureRequest` tuples. Replies are keyed,
+    so the parent driver ingests shards in any arrival order; per-row
+    values are independent of sharding (the fastfaults contract), which
+    keeps adaptive runs bit-identical across worker counts.
+    """
+    module_id, seed, disable_interference, requests, trace = args
+    module = _worker_module(module_id, seed, disable_interference)
+    if trace:
+        with obs.tracing() as recorder:
+            with recorder.span("engine.adaptive_worker"):
+                replies = measure_requests(module, requests)
+            recorder.counter_add("engine.worker_units", len(requests))
+            return replies, recorder.snapshot()
+    return measure_requests(module, requests), None
+
+
 def _measure_units_body(
     module_id, seed, disable_interference, n_measurements, units
 ) -> Tuple[List[int], CampaignResult]:
@@ -192,6 +222,15 @@ class CampaignEngine:
             entirely.
         disable_interference: Rebuild worker modules with refresh/ECC
             interference disabled (the standard campaign drivers do).
+        schedule: ``"exhaustive"`` (the Sec. 5 fixed-length protocol) or
+            ``"adaptive"`` (DiscoRD-style early stopping;
+            :mod:`repro.core.adaptive`). Adaptive runs return
+            :class:`~repro.core.adaptive.AdaptiveResult` from
+            :meth:`run`/:meth:`run_pairs`.
+        adaptive: Stopping/budget knobs for the adaptive schedule;
+            defaults to ``AdaptiveConfig(max_measurements=n_measurements)``
+            so the per-row ceiling matches the exhaustive series length it
+            replaces. Rejected for exhaustive runs.
     """
 
     def __init__(
@@ -204,9 +243,19 @@ class CampaignEngine:
         n_jobs: Optional[int] = None,
         cache: "Optional[CampaignCache]" = None,
         disable_interference: bool = True,
+        schedule: str = "exhaustive",
+        adaptive: Optional[AdaptiveConfig] = None,
     ):
         if n_measurements < 2:
             raise MeasurementError("campaigns need at least 2 measurements")
+        if schedule not in SCHEDULES:
+            raise ConfigurationError(
+                f"unknown schedule {schedule!r}; expected one of {SCHEDULES}"
+            )
+        if adaptive is not None and schedule != "adaptive":
+            raise ConfigurationError(
+                "adaptive config requires schedule='adaptive'"
+            )
         self.module_id = module_id
         self.configs = list(configs)
         if not self.configs:
@@ -217,18 +266,27 @@ class CampaignEngine:
         self.n_jobs = resolve_jobs(n_jobs)
         self.cache = cache
         self.disable_interference = disable_interference
+        self.schedule = schedule
+        if schedule == "adaptive" and adaptive is None:
+            adaptive = AdaptiveConfig(max_measurements=n_measurements)
+        self.adaptive = adaptive
 
-    def run(self, rows: Iterable[int]) -> CampaignResult:
+    def run(self, rows: Iterable[int]):
         """Measure every (row, configuration) pair on the default bank."""
         return self.run_pairs((self.bank, row) for row in rows)
 
-    def run_pairs(self, pairs: Iterable["tuple[int, int]"]) -> CampaignResult:
+    def run_pairs(self, pairs: Iterable["tuple[int, int]"]):
         """Measure every ((bank, row), configuration) pair.
 
         Bit-identical to :meth:`Campaign.run_pairs
         <repro.core.campaign.Campaign.run_pairs>` on a freshly built module
-        for any ``n_jobs``.
+        for any ``n_jobs`` (exhaustive schedule), and to
+        :meth:`AdaptiveScheduler.run_pairs
+        <repro.core.adaptive.AdaptiveScheduler.run_pairs>` (adaptive
+        schedule — returns :class:`~repro.core.adaptive.AdaptiveResult`).
         """
+        if self.schedule == "adaptive":
+            return self._run_adaptive_pairs(pairs)
         recorder = obs.active()
         with recorder.span("engine.run_pairs"):
             pairs = [(int(bank), int(row)) for bank, row in pairs]
@@ -302,6 +360,102 @@ class CampaignEngine:
             if self.cache is not None and cache_key is not None:
                 self.cache.store(cache_key, result)
             return result
+
+    def _run_adaptive_pairs(
+        self, pairs: Iterable["tuple[int, int]"]
+    ) -> AdaptiveResult:
+        """Adaptive schedule: the driver plans rounds centrally; workers
+        only execute keyed measurement requests, so budget state
+        round-trips through the parent between rounds and the result is
+        bit-identical to the serial :class:`AdaptiveScheduler` at any
+        worker count."""
+        recorder = obs.active()
+        with recorder.span("engine.adaptive_run_pairs"):
+            pairs = [(int(bank), int(row)) for bank, row in pairs]
+
+            cache_key = None
+            if self.cache is not None:
+                cache_key = self.cache.key(
+                    seed=self.seed,
+                    module_id=self.module_id,
+                    configs=self.configs,
+                    n_measurements=self.n_measurements,
+                    pairs=pairs,
+                    schedule="adaptive",
+                    adaptive=self.adaptive,
+                )
+                cached = self.cache.load_adaptive(cache_key)
+                if cached is not None:
+                    return cached
+
+            driver = AdaptiveDriver(
+                self.module_id, pairs, self.configs, self.adaptive
+            )
+            recorder.gauge_set("engine.jobs", self.n_jobs)
+            pool = None
+            try:
+                while True:
+                    requests = driver.next_requests()
+                    if not requests:
+                        break
+                    if self.n_jobs == 1 or len(requests) == 1:
+                        shards = [requests]
+                        outputs = [
+                            _adaptive_measure_units(
+                                self._adaptive_worker_args(requests)
+                            )
+                        ]
+                    else:
+                        shards = [
+                            requests[start::self.n_jobs]
+                            for start in range(self.n_jobs)
+                        ]
+                        shards = [shard for shard in shards if shard]
+                        if pool is None:
+                            # One pool for the whole run: workers keep
+                            # their rebuilt module across rounds.
+                            pool = ProcessPoolExecutor(
+                                max_workers=self.n_jobs
+                            )
+                        outputs = list(
+                            pool.map(
+                                _adaptive_measure_units,
+                                [
+                                    self._adaptive_worker_args(shard)
+                                    for shard in shards
+                                ],
+                            )
+                        )
+                    replies = []
+                    for shard_replies, snapshot in outputs:
+                        replies.extend(shard_replies)
+                        if recorder.enabled:
+                            recorder.merge_snapshot(snapshot)
+                    driver.ingest(replies)
+                    if recorder.enabled:
+                        recorder.counter_add(
+                            "engine.adaptive_rounds"
+                        )
+                        recorder.counter_add(
+                            "engine.shards", len(shards)
+                        )
+            finally:
+                if pool is not None:
+                    pool.shutdown()
+            result = driver.finish()
+
+            if self.cache is not None and cache_key is not None:
+                self.cache.store_adaptive(cache_key, result)
+            return result
+
+    def _adaptive_worker_args(self, requests):
+        return (
+            self.module_id,
+            self.seed,
+            self.disable_interference,
+            requests,
+            obs.enabled(),
+        )
 
     def _execute(
         self, units
@@ -387,6 +541,8 @@ class CampaignCache:
         n_measurements: int,
         pairs: Optional[Sequence["tuple[int, int]"]] = None,
         extra: Optional[dict] = None,
+        schedule: str = "exhaustive",
+        adaptive: Optional[AdaptiveConfig] = None,
     ) -> str:
         """Hex digest addressing one campaign's full recipe.
 
@@ -395,9 +551,18 @@ class CampaignCache:
         through ``extra`` instead, so the key is known before selection
         runs — selection dominates campaign cost, and a cache hit must
         skip it too.
+
+        The measurement schedule and its full parameterization (budget,
+        confidence, precision, grid-refinement ceiling) are part of the
+        recipe: an adaptive run and an exhaustive run over the same rows
+        measure different things and must never alias to one entry.
         """
+        if adaptive is not None and schedule != "adaptive":
+            raise ConfigurationError(
+                "adaptive cache-key parameters require schedule='adaptive'"
+            )
         payload = {
-            "format": 1,
+            "format": 2,
             "seed": int(seed),
             "module_id": module_id,
             "configs": [config_to_dict(config) for config in configs],
@@ -407,6 +572,8 @@ class CampaignCache:
                 else [[int(bank), int(row)] for bank, row in pairs]
             ),
             "extra": extra,
+            "schedule": schedule,
+            "adaptive": None if adaptive is None else adaptive.to_dict(),
         }
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.blake2b(blob.encode("utf-8"), digest_size=16).hexdigest()
@@ -450,6 +617,47 @@ class CampaignCache:
         tmp = path.with_suffix(f".tmp-{os.getpid()}")
         try:
             save_campaign(result, tmp)
+            tmp.replace(path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        obs.active().counter_add("cache.store")
+
+    def load_adaptive(self, key: str) -> Optional[AdaptiveResult]:
+        """The cached adaptive run for ``key``, or ``None`` on a miss.
+
+        Same corrupt-entry contract as :meth:`load`; an exhaustive
+        campaign payload under the key is treated as corrupt (the ``kind``
+        discriminator rejects it) — with schedule-aware keys that can only
+        happen through disk tampering or a key collision.
+        """
+        recorder = obs.active()
+        path = self.path_for(key)
+        if not path.exists():
+            recorder.counter_add("cache.miss")
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            result = AdaptiveResult.from_payload(payload)
+        except OSError:
+            recorder.counter_add("cache.miss")
+            return None
+        except self._CORRUPT_ERRORS + (json.JSONDecodeError,):
+            recorder.counter_add("cache.corrupt")
+            self.evict(key)
+            return None
+        recorder.counter_add("cache.hit")
+        return result
+
+    def store_adaptive(self, key: str, result: AdaptiveResult) -> None:
+        """Persist an adaptive run under ``key`` (atomic, like
+        :meth:`store`)."""
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(result.to_payload(), handle)
             tmp.replace(path)
         finally:
             if tmp.exists():

@@ -180,8 +180,22 @@ class SweepCache:
             cache_dir = env or DEFAULT_CACHE_DIR
         return cls(cache_dir)
 
-    def key(self, spec: SweepSpec) -> str:
-        payload = {"format": 1, "kind": "fig14-sweep", "spec": asdict(spec)}
+    def key(self, spec: SweepSpec, schedule: str = "exhaustive",
+            schedule_params: Optional[dict] = None) -> str:
+        """Hex digest of the sweep recipe.
+
+        ``schedule``/``schedule_params`` discriminate the measurement
+        schedule that produced the thresholds feeding the sweep (e.g.
+        ``"adaptive"`` with its budget/confidence knobs), so sweeps over
+        adaptive-estimated and exhaustively-measured inputs never alias.
+        """
+        payload = {
+            "format": 2,
+            "kind": "fig14-sweep",
+            "spec": asdict(spec),
+            "schedule": schedule,
+            "schedule_params": schedule_params,
+        }
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.blake2b(blob.encode("utf-8"), digest_size=16).hexdigest()
 

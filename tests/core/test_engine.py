@@ -221,6 +221,8 @@ def test_cache_misses_on_different_seed(tmp_path):
 
 
 def test_cache_key_separates_every_recipe_axis():
+    from repro.core.adaptive import AdaptiveConfig
+
     cache_key_kwargs = dict(
         seed=1, module_id="M1",
         configs=[TestConfig(CHECKERED0, t_agg_on_ns=35.0)],
@@ -235,8 +237,90 @@ def test_cache_key_separates_every_recipe_axis():
         dict(n_measurements=101),
         dict(pairs=[(0, 2)]),
         dict(extra={"driver": "x"}),
+        dict(schedule="adaptive"),
+        dict(schedule="adaptive", adaptive=AdaptiveConfig()),
     ):
         assert cache.key(**{**cache_key_kwargs, **change}) != base
+
+
+def test_cache_key_separates_adaptive_parameters():
+    """Regression for the aliasing bug class: every adaptive knob —
+    budget, confidence, precision, grid-refinement ceiling — must change
+    the key, so adaptive runs with different stopping behavior (and
+    adaptive vs exhaustive runs) can never share a cache entry."""
+    from repro.core.adaptive import AdaptiveConfig
+
+    cache = CampaignCache.resolve(".")  # no writes: key() is pure
+    recipe = dict(
+        seed=1, module_id="M1",
+        configs=[TestConfig(CHECKERED0, t_agg_on_ns=35.0)],
+        n_measurements=100, pairs=[(0, 1)],
+        schedule="adaptive",
+    )
+    base = cache.key(**recipe, adaptive=AdaptiveConfig())
+    variants = [
+        AdaptiveConfig(budget=1000),
+        AdaptiveConfig(confidence=0.95),
+        AdaptiveConfig(rel_precision=0.1),
+        AdaptiveConfig(abs_precision=50.0),
+        AdaptiveConfig(min_measurements=4),
+        AdaptiveConfig(max_measurements=500),
+    ]
+    keys = {base}
+    for adaptive in variants:
+        keys.add(cache.key(**recipe, adaptive=adaptive))
+    assert len(keys) == len(variants) + 1
+
+    with pytest.raises(ConfigurationError):
+        cache.key(**{**recipe, "schedule": "exhaustive"},
+                  adaptive=AdaptiveConfig())
+
+
+def test_adaptive_and_exhaustive_never_alias_on_disk(tmp_path):
+    """End-to-end: the same rows/configs/seed through both schedules must
+    produce two distinct cache entries, and each engine must reload its
+    own result exactly."""
+    from repro.core.adaptive import AdaptiveConfig
+
+    cache = CampaignCache(tmp_path / "cache")
+    adaptive_config = AdaptiveConfig(max_measurements=N_MEASUREMENTS)
+    exhaustive = _engine(n_jobs=1, cache=cache).run(ROWS)
+
+    module = build_module(MODULE_ID, seed=SEED)
+    adaptive_engine = CampaignEngine(
+        MODULE_ID,
+        _configs(module),
+        n_measurements=N_MEASUREMENTS,
+        seed=SEED,
+        n_jobs=1,
+        cache=cache,
+        schedule="adaptive",
+        adaptive=adaptive_config,
+    )
+    adaptive = adaptive_engine.run(ROWS)
+    assert len(list(cache.root.glob("*.json"))) == 2
+
+    reloaded_exhaustive = _engine(n_jobs=1, cache=cache).run(ROWS)
+    assert_identical(reloaded_exhaustive, exhaustive)
+    reloaded_adaptive = adaptive_engine.run(ROWS)
+    assert [e.to_dict() for e in reloaded_adaptive.estimates] == (
+        [e.to_dict() for e in adaptive.estimates]
+    )
+
+
+def test_load_adaptive_rejects_exhaustive_payload(tmp_path):
+    """A campaign payload under an adaptive key is corrupt, not a hit."""
+    from repro import obs
+
+    cache = CampaignCache(tmp_path / "cache")
+    first = _engine(n_jobs=1, cache=cache).run(ROWS)
+    assert first is not None
+    [path] = cache.root.glob("*.json")
+    key = path.stem
+    with obs.tracing() as recorder:
+        assert cache.load_adaptive(key) is None
+    assert recorder.counters.get("cache.corrupt") == 1
+    assert not path.exists()  # evicted
 
 
 @pytest.mark.parametrize("blob", [

@@ -18,6 +18,7 @@ memsim              ``MemorySystem.run``                ``memsim.fastcore.run_fa
 fastfaults          per-row ``RowVrdProcess``           packed ``BankVrdState``
 bender              scalar ``Interpreter`` trials       compiled trial replay
 ecc                 per-codeword encode/decode          ``encode_batch``/``decode_batch``
+adaptive            serial ``AdaptiveScheduler``        ``CampaignEngine`` adaptive (2 jobs)
 ==================  ==================================  =========================
 """
 
@@ -217,6 +218,66 @@ def bender_fast(seed: int) -> tuple:
 
 
 # ----------------------------------------------------------------------
+# adaptive: serial scheduler vs sharded engine adaptive mode
+# ----------------------------------------------------------------------
+
+_ADAPTIVE_N_MAX = 100
+
+
+def _adaptive_workload(seed: int):
+    from repro.core import AdaptiveConfig
+
+    pick = random.Random(seed + 4)
+    rows = sorted(pick.sample(range(256), 4))
+    adaptive = AdaptiveConfig(
+        max_measurements=_ADAPTIVE_N_MAX,
+        budget=pick.choice([None, 400]),
+    )
+    return rows, adaptive
+
+
+def _adaptive_fingerprint(result) -> tuple:
+    return (
+        result.rounds,
+        result.budget_reallocations,
+        tuple(
+            (
+                estimate.bank,
+                estimate.row,
+                estimate.config.label(),
+                estimate.estimate,
+                estimate.ci_half_width,
+                estimate.n_measured,
+                estimate.trials,
+                estimate.stopping_reason,
+            )
+            for estimate in result.estimates
+        ),
+    )
+
+
+def adaptive_oracle(seed: int) -> tuple:
+    from repro.core import AdaptiveScheduler
+
+    module, configs = _engine_workload(seed)
+    rows, adaptive = _adaptive_workload(seed)
+    scheduler = AdaptiveScheduler(module, configs, adaptive)
+    return _adaptive_fingerprint(scheduler.run(rows))
+
+
+def adaptive_fast(seed: int) -> tuple:
+    from repro.core.engine import CampaignEngine
+
+    _, configs = _engine_workload(seed)
+    rows, adaptive = _adaptive_workload(seed)
+    engine = CampaignEngine(
+        "M1", configs, n_measurements=_ADAPTIVE_N_MAX, seed=seed,
+        n_jobs=2, schedule="adaptive", adaptive=adaptive,
+    )
+    return _adaptive_fingerprint(engine.run(rows))
+
+
+# ----------------------------------------------------------------------
 # ecc: scalar per-codeword decode vs vectorized batch decode
 # ----------------------------------------------------------------------
 
@@ -272,4 +333,5 @@ CASES: List[DifferentialCase] = [
     DifferentialCase("fastfaults", fastfaults_oracle, fastfaults_fast),
     DifferentialCase("bender", bender_oracle, bender_fast),
     DifferentialCase("ecc", ecc_oracle, ecc_fast),
+    DifferentialCase("adaptive", adaptive_oracle, adaptive_fast),
 ]

@@ -97,3 +97,110 @@ def test_attack_exit_codes(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_measure_adaptive(capsys):
+    assert main([
+        "measure", "M1", "--row", "64", "-n", "200", "--adaptive",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "adaptive RDT estimate" in out
+    assert "99% CI" in out
+    assert "x fewer" in out
+
+
+def test_measure_adaptive_budget_and_confidence(capsys):
+    assert main([
+        "measure", "M1", "--row", "64", "-n", "200", "--adaptive",
+        "--budget", "50", "--confidence", "0.9", "--precision", "0.1",
+    ]) == 0
+    assert "90% CI" in capsys.readouterr().out
+
+
+def test_profile_adaptive(capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "adaptive.json"
+    assert main([
+        "profile", "M1", "--rows-per-block", "1", "-n", "100",
+        "--adaptive", "--no-cache", "--output", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "adaptive VRD profile" in out
+    assert "trials spent" in out
+    assert "converged" in out
+    payload = json.loads(out_path.read_text())
+    assert payload["kind"] == "adaptive-campaign"
+    assert payload["estimates"]
+
+
+def test_profile_adaptive_deterministic_across_jobs(capsys, tmp_path):
+    outputs = []
+    for jobs in ("1", "2"):
+        assert main([
+            "profile", "M1", "--rows-per-block", "1", "-n", "100",
+            "--adaptive", "--no-cache", "--jobs", jobs,
+        ]) == 0
+        outputs.append(capsys.readouterr().out)
+    assert outputs[0] == outputs[1]
+
+
+def _write_bench_records(root):
+    import json
+
+    (root / "BENCH_alpha.json").write_text(json.dumps({
+        "speedup": 4.2, "cache_hit_speedup": 900.0,
+        "date": "2026-08-01", "commit": "abc1234",
+    }))
+    (root / "BENCH_beta.json").write_text(json.dumps({
+        "trial_reduction": 35.0, "date": "2026-08-02", "commit": "def5678",
+    }))
+
+
+def test_bench_golden_output(capsys, tmp_path):
+    """Exact golden output: the trajectory table's selection of headline
+    metrics, formatting, and ordering are all part of the contract."""
+    _write_bench_records(tmp_path)
+    assert main(["bench", "--dir", str(tmp_path)]) == 0
+    golden = (
+        "perf trajectory (2 benchmarks)\n"
+        "bench  metric           speedup  date        commit \n"
+        "-----  ---------------  -------  ----------  -------\n"
+        "alpha  speedup          4.2x     2026-08-01  abc1234\n"
+        "beta   trial_reduction  35x      2026-08-02  def5678\n"
+    )
+    assert capsys.readouterr().out == golden
+
+
+def test_bench_json_output(capsys, tmp_path):
+    import json
+
+    _write_bench_records(tmp_path)
+    assert main(["bench", "--dir", str(tmp_path), "--json"]) == 0
+    records = json.loads(capsys.readouterr().out)
+    assert [record["bench"] for record in records] == ["alpha", "beta"]
+    # The headline skips cache_hit_speedup but keeps it in all_metrics.
+    assert records[0]["metric"] == "speedup"
+    assert records[0]["all_metrics"]["cache_hit_speedup"] == 900.0
+
+
+def test_bench_skips_corrupt_records(capsys, tmp_path):
+    _write_bench_records(tmp_path)
+    (tmp_path / "BENCH_broken.json").write_text("{not json")
+    assert main(["bench", "--dir", str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    assert "broken" not in captured.out
+    assert "skipping BENCH_broken.json" in captured.err
+
+
+def test_bench_empty_dir_fails(capsys, tmp_path):
+    assert main(["bench", "--dir", str(tmp_path)]) == 1
+    assert "no BENCH_*.json" in capsys.readouterr().out
+
+
+def test_bench_repo_records(capsys):
+    """The repo's own committed BENCH_*.json files aggregate cleanly."""
+    assert main(["bench", "--dir", "."]) == 0
+    out = capsys.readouterr().out
+    assert "adaptive" in out
+    assert "engine" in out
