@@ -9,6 +9,9 @@ Small, scriptable entry points onto the library's main experiments:
 * ``testtime`` — Appendix A testing-cost headline scenarios;
 * ``attack`` — profile-and-attack security check for one mitigation;
 * ``fig14`` — mitigation-overhead sweep (cached, sharded, fast core);
+* ``serve`` — concurrent campaign service over the shared result store;
+* ``submit`` — send one job to a running service and stream its events;
+* ``store`` — result-store maintenance (``migrate``, ``stats``);
 * ``report`` — instrumented smoke workload + observability run report;
 * ``bench`` — aggregate every ``BENCH_*.json`` into one perf trajectory.
 
@@ -207,6 +210,64 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_flags(fig14)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the concurrent campaign service over the shared result "
+             "store (JSON lines over a local TCP socket)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7341,
+        help="listen port (0 picks a free one; default 7341)",
+    )
+    serve.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="measurement worker processes (default: $VRD_JOBS, else 1)",
+    )
+    serve.add_argument(
+        "--store", default=None, metavar="FILE",
+        help="sqlite store file (default: $VRD_STORE_PATH, else "
+             "$VRD_CACHE_DIR/results.sqlite, else .vrd-cache/results.sqlite)",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="send one job request to a running service and stream events",
+    )
+    submit.add_argument(
+        "file", nargs="?", default=None,
+        help="JSON request file (default: read one object from stdin)",
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=7341)
+    submit.add_argument(
+        "--quiet", action="store_true",
+        help="suppress progress events; print only the result summary",
+    )
+
+    store_cmd = sub.add_parser(
+        "store", help="result-store maintenance (sqlite, shared)"
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    migrate = store_sub.add_parser(
+        "migrate",
+        help="import legacy one-file-per-entry .vrd-cache/ entries into "
+             "the sqlite store",
+    )
+    migrate.add_argument(
+        "--cache-dir", default=None,
+        help="legacy cache directory to import from (default: the store's "
+             "own directory)",
+    )
+    migrate.add_argument(
+        "--store", default=None, metavar="FILE",
+        help="sqlite store file (default: resolved via the environment)",
+    )
+    store_stats = store_sub.add_parser(
+        "stats", help="entry counts and payload bytes per result kind"
+    )
+    store_stats.add_argument("--store", default=None, metavar="FILE")
+
     sub.add_parser(
         "verify",
         help="quick self-check: headline results land in their paper bands",
@@ -401,6 +462,7 @@ _BENCH_HEADLINES = (
     "combined_speedup",
     "fast_speedup",
     "stepping_speedup",
+    "throughput_speedup",
     "traced_overhead",
 )
 
@@ -594,6 +656,110 @@ def _cmd_fig14(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_store(path):
+    from repro.errors import ConfigurationError
+    from repro.store import ResultStore
+
+    store = ResultStore.resolve(store_path=path)
+    if store is None:
+        raise ConfigurationError(
+            "storage is disabled (empty VRD_STORE_PATH/VRD_CACHE_DIR); "
+            "pass --store explicitly"
+        )
+    return store
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import CampaignService
+
+    service = CampaignService(
+        store=_resolve_store(args.store),
+        n_jobs=args.jobs,
+        host=args.host,
+        port=args.port,
+    )
+
+    async def run() -> None:
+        host, port = await service.start()
+        print(f"serving on {host}:{port} | store {service.store.path} | "
+              f"{service.n_jobs} worker(s)", file=sys.stderr)
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            request = json.load(handle)
+    else:
+        request = json.load(sys.stdin)
+
+    def on_event(event):
+        if not args.quiet:
+            print(json.dumps(event, sort_keys=True), file=sys.stderr)
+
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            result = client.submit(request, on_event=on_event)
+    except (ConnectionError, OSError) as error:
+        print(f"cannot reach service at {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 1
+    except ServiceError as error:
+        print(f"service error: {error}", file=sys.stderr)
+        return 1
+    print(json.dumps(result["payload"], sort_keys=True))
+    print(f"{result['kind']} job {result['job_id']}: {result['status']} in "
+          f"{result['elapsed_ms']:.1f} ms (key {result['key']})",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+
+    store = _resolve_store(args.store)
+    if args.store_command == "migrate":
+        from repro.store.legacy import import_legacy_entries
+
+        root = args.cache_dir if args.cache_dir else store.path.parent
+        added = import_legacy_entries(store, root)
+        stats = store.stats()
+        print(f"imported {added} legacy entries from {root}; store now "
+              f"holds {stats['entries']} entries")
+        return 0
+    if args.store_command == "stats":
+        stats = store.stats()
+        rows = [
+            (kind, count)
+            for kind, count in sorted(stats["per_kind"].items())
+        ]
+        rows.append(("total", stats["entries"]))
+        print(format_table(
+            ["kind", "entries"], rows,
+            title=f"result store {stats['path']} "
+                  f"({stats['payload_bytes']:,} payload bytes)",
+        ))
+        return 0
+    raise AssertionError(
+        f"unhandled store command {args.store_command}"
+    )  # pragma: no cover
+
+
 def _cmd_verify() -> int:
     """Fast end-to-end sanity checks against the paper's headline bands."""
     import numpy as np
@@ -651,8 +817,10 @@ def _cmd_verify() -> int:
 def _report_workload(seed: int, jobs: Optional[int]) -> None:
     """A small deterministic workload touching every instrumented layer:
     probe + bulk series (faults/fastfaults), compiled and interpreted
-    Bender trials, fast and reference memsim cells, and both ECC decode
-    paths."""
+    Bender trials, fast and reference memsim cells, both ECC decode
+    paths, and a service round-trip over a throwaway sqlite store
+    (compute, then a warm store hit) for the ``service.*``/``store.*``
+    metrics."""
     from repro.bender.host import DramBender
     from repro.core import CHECKERED0, FastRdtMeter, TestConfig
     from repro.core.rdt import HammerSweep, RdtMeter, find_victim
@@ -693,6 +861,32 @@ def _report_workload(seed: int, jobs: Optional[int]) -> None:
 
     monte_carlo_outcomes(default_codec("SECDED"), 1e-4, trials=2048)
 
+    # Service + store round-trip: one computed job, one warm store hit.
+    import tempfile
+    from pathlib import Path
+
+    from repro.core import CHECKERED0 as _PATTERN
+    from repro.core.store import config_to_dict
+    from repro.service import ServiceThread
+    from repro.store import DEFAULT_STORE_FILENAME, ResultStore
+
+    with tempfile.TemporaryDirectory(prefix="vrd-report-") as tmp:
+        store = ResultStore(Path(tmp) / DEFAULT_STORE_FILENAME)
+        request = {
+            "kind": "campaign",
+            "module_id": "M1",
+            "seed": seed,
+            "pairs": [[0, 3], [0, 17]],
+            "configs": [config_to_dict(
+                TestConfig(_PATTERN, t_agg_on_ns=35.0)
+            )],
+            "n_measurements": 20,
+        }
+        with ServiceThread(store=store, n_jobs=jobs) as service:
+            with service.client() as client:
+                client.submit(request)
+                client.submit(request)  # warm-store resubmit: a hit
+
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro import obs
@@ -732,6 +926,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_analyze(args)
     if args.command == "fig14":
         return _cmd_fig14(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "store":
+        return _cmd_store(args)
     if args.command == "verify":
         return _cmd_verify()
     if args.command == "report":

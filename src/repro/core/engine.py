@@ -9,10 +9,12 @@ a nested serial loop. This module scales the same protocol out:
   determined by their seed — measure their shard, and return partial
   :class:`~repro.core.campaign.CampaignResult` objects that are stitched
   back together with the existing ``merge``.
-* :class:`CampaignCache` stores finished campaigns content-addressed under
-  a cache directory (``VRD_CACHE_DIR``, default ``.vrd-cache/``) via the
-  :mod:`repro.core.store` JSON format, so repeated benchmark/CLI sessions
-  reload instead of recomputing.
+* :class:`CampaignCache` stores finished campaigns content-addressed in
+  the shared sqlite result store (:mod:`repro.store` — ``VRD_STORE_PATH``,
+  else ``VRD_CACHE_DIR/results.sqlite``, default
+  ``.vrd-cache/results.sqlite``), so repeated benchmark/CLI sessions —
+  and concurrent worker/service processes — reload instead of
+  recomputing.
 
 **Determinism contract.** Every stochastic quantity in a campaign flows
 from per-(module, row, condition) streams derived via :func:`repro.rng`
@@ -43,24 +45,26 @@ from repro.core.campaign import CampaignResult, RowObservation
 from repro.core.config import TestConfig
 from repro.core.rdt import FastRdtMeter
 from repro.core.store import (
+    campaign_from_dict,
+    campaign_to_dict,
     config_to_dict,
-    load_campaign,
-    save_campaign,
 )
 from repro.errors import ConfigurationError, MeasurementError
 from repro.rng import DEFAULT_SEED
+from repro.store.db import (  # noqa: F401  (re-exported legacy names)
+    CACHE_DIR_ENV_VAR,
+    DEFAULT_CACHE_DIR,
+    DEFAULT_STORE_FILENAME,
+    KIND_ADAPTIVE,
+    KIND_CAMPAIGN,
+    ResultStore,
+)
 
 #: Measurement schedules the engine can execute.
 SCHEDULES = ("exhaustive", "adaptive")
 
 #: Environment variable consulted when a job count is not given explicitly.
 JOBS_ENV_VAR = "VRD_JOBS"
-
-#: Environment variable overriding the default cache directory.
-CACHE_DIR_ENV_VAR = "VRD_CACHE_DIR"
-
-#: Default on-disk cache location (relative to the working directory).
-DEFAULT_CACHE_DIR = ".vrd-cache"
 
 
 def resolve_jobs(n_jobs: Optional[int] = None) -> int:
@@ -201,6 +205,60 @@ def _measure_units_body(
 
 
 # ----------------------------------------------------------------------
+# Work planning and stitching (shared with repro.service)
+# ----------------------------------------------------------------------
+
+
+def plan_units(
+    configs: Sequence[TestConfig], pairs: Sequence["tuple[int, int]"]
+) -> List[tuple]:
+    """The campaign's work units in serial (configuration-major) order.
+
+    Each unit is ``(unit_index, bank, row, config)``; ``unit_index`` is
+    the observation's position in the serial loop's result, which is what
+    lets arbitrarily sharded partials stitch back into the exact serial
+    ordering.
+    """
+    return [
+        (config_index * len(pairs) + pair_index, bank, row, config)
+        for config_index, config in enumerate(configs)
+        for pair_index, (bank, row) in enumerate(pairs)
+    ]
+
+
+def shard_units(units: Sequence, n_shards: int) -> List[list]:
+    """Deal units round-robin into at most ``n_shards`` non-empty shards."""
+    shards = [list(units[start::n_shards]) for start in range(n_shards)]
+    return [shard for shard in shards if shard]
+
+
+def assemble_partials(
+    partials: Sequence[Tuple[List[int], CampaignResult]],
+) -> CampaignResult:
+    """Stitch worker partials back into the serial loop's exact result.
+
+    Uses the existing ``merge`` (which validates shard disjointness),
+    then restores the serial observation order via the unit indices each
+    worker reported. Shard arrival order does not matter.
+    """
+    index_of: Dict[Tuple[int, int, TestConfig], int] = {}
+    for indices, partial in partials:
+        for unit_index, observation in zip(indices, partial.observations):
+            index_of[
+                (observation.bank, observation.row, observation.config)
+            ] = unit_index
+    result = partials[0][1]
+    for _, partial in partials[1:]:
+        result = result.merge(partial)
+    result.observations.sort(
+        key=lambda observation: index_of[
+            (observation.bank, observation.row, observation.config)
+        ]
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
 # Engine
 # ----------------------------------------------------------------------
 
@@ -311,27 +369,13 @@ class CampaignEngine:
                     return cached
 
             # Serial order: configuration-major, pairs in the given order.
-            units = [
-                (config_index * len(pairs) + pair_index, bank, row, config)
-                for config_index, config in enumerate(self.configs)
-                for pair_index, (bank, row) in enumerate(pairs)
-            ]
+            units = plan_units(self.configs, pairs)
             recorder.counter_add("engine.units", len(units))
             recorder.gauge_set("engine.jobs", self.n_jobs)
             partials = self._execute(units)
 
-            # Stitch with the existing merge (it validates shard
-            # disjointness), then restore the serial loop's observation
-            # order via the unit indices each worker reported.
-            index_of: Dict[Tuple[int, int, TestConfig], int] = {}
-            for indices, partial, _ in partials:
-                for unit_index, observation in zip(
-                    indices, partial.observations
-                ):
-                    index_of[
-                        (observation.bank, observation.row, observation.config)
-                    ] = unit_index
             if recorder.enabled:
+                observed = sum(len(indices) for indices, _, _ in partials)
                 for _, _, snapshot in partials:
                     if snapshot is not None:
                         worker_span = snapshot["spans"].get("engine.worker")
@@ -342,19 +386,12 @@ class CampaignEngine:
                             )
                     recorder.merge_snapshot(snapshot)
                 recorder.counter_add("engine.shards", len(partials))
+                recorder.counter_add("engine.observations", observed)
                 recorder.counter_add(
-                    "engine.observations", len(index_of)
+                    "engine.skipped_units", len(units) - observed
                 )
-                recorder.counter_add(
-                    "engine.skipped_units", len(units) - len(index_of)
-                )
-            result = partials[0][1]
-            for _, partial, _ in partials[1:]:
-                result = result.merge(partial)
-            result.observations.sort(
-                key=lambda observation: index_of[
-                    (observation.bank, observation.row, observation.config)
-                ]
+            result = assemble_partials(
+                [(indices, partial) for indices, partial, _ in partials]
             )
 
             if self.cache is not None and cache_key is not None:
@@ -406,11 +443,7 @@ class CampaignEngine:
                             )
                         ]
                     else:
-                        shards = [
-                            requests[start::self.n_jobs]
-                            for start in range(self.n_jobs)
-                        ]
-                        shards = [shard for shard in shards if shard]
+                        shards = shard_units(requests, self.n_jobs)
                         if pool is None:
                             # One pool for the whole run: workers keep
                             # their rebuilt module across rounds.
@@ -462,8 +495,7 @@ class CampaignEngine:
     ) -> List[Tuple[List[int], CampaignResult, Optional[dict]]]:
         if self.n_jobs == 1 or len(units) == 1:
             return [_measure_units(self._worker_args(units))]
-        shards = [units[start::self.n_jobs] for start in range(self.n_jobs)]
-        shards = [shard for shard in shards if shard]
+        shards = shard_units(units, self.n_jobs)
         with ProcessPoolExecutor(max_workers=len(shards)) as pool:
             return list(
                 pool.map(
@@ -484,28 +516,31 @@ class CampaignEngine:
 
 
 # ----------------------------------------------------------------------
-# On-disk cache
+# Shared result store (campaign/adaptive cache shim)
 # ----------------------------------------------------------------------
 
 
 class CampaignCache:
-    """Content-addressed campaign store under one directory.
+    """Content-addressed campaign cache over the shared sqlite store.
 
     Keys hash the complete recomputation recipe — root seed, module id,
     configuration grid, row list (or a driver-supplied selection recipe),
     and series length — so any parameter change is a clean miss. Values
-    are :mod:`repro.core.store` JSON files. A truncated or otherwise
-    corrupted entry (e.g. a crashed writer or disk error) is detected on
-    load, counted under the ``cache.corrupt`` metric, *evicted* from disk,
-    and treated as a miss so the campaign recomputes cleanly —
-    ``tests/core/test_engine.py`` corrupts entries on disk to prove it.
+    are :mod:`repro.core.store` JSON payloads in one
+    :class:`~repro.store.db.ResultStore` (WAL sqlite) that any number of
+    worker processes and service clients share concurrently. A corrupted
+    entry (bad checksum, tampered payload, torn database page) is
+    detected on load, counted under the ``cache.corrupt`` metric,
+    *evicted*, and treated as a miss so the campaign recomputes cleanly —
+    ``tests/core/test_engine.py`` and ``tests/store/`` corrupt entries on
+    disk to prove it. The previous one-file-per-entry backend lives on as
+    :class:`repro.store.legacy.FileCampaignCache`; its entries are
+    imported transparently when a store is first created next to them.
     """
 
-    #: Exceptions that mark an on-disk entry as corrupt (as opposed to
-    #: merely absent/unreadable): JSON decode errors surface as
-    #: MeasurementError via load_campaign, while structurally mangled
-    #: payloads (wrong types, missing keys, non-dict roots) escape as the
-    #: raw lookup/coercion errors.
+    #: Exceptions that mark a decoded payload as corrupt (structurally
+    #: mangled: wrong types, missing keys, bad version) even though its
+    #: checksum matched — possible via tampering or version skew.
     _CORRUPT_ERRORS = (
         MeasurementError,
         ValueError,
@@ -514,23 +549,31 @@ class CampaignCache:
         AttributeError,
     )
 
-    def __init__(self, root: "Path | str"):
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+    def __init__(
+        self,
+        root: "Path | str | None" = None,
+        *,
+        store: Optional[ResultStore] = None,
+    ):
+        if (root is None) == (store is None):
+            raise ConfigurationError(
+                "pass exactly one of a cache directory or a ResultStore"
+            )
+        if store is None:
+            store = ResultStore(Path(root) / DEFAULT_STORE_FILENAME)
+        self.result_store = store
+        self.root = store.path.parent
 
     @classmethod
     def resolve(
         cls, cache_dir: "Path | str | None" = None
     ) -> "Optional[CampaignCache]":
-        """Cache at ``cache_dir``, else ``$VRD_CACHE_DIR``, else
-        ``.vrd-cache/``. An empty ``VRD_CACHE_DIR`` disables caching
+        """Cache under ``cache_dir``, else at ``$VRD_STORE_PATH``, else
+        under ``$VRD_CACHE_DIR``, else ``.vrd-cache/``. An empty
+        ``VRD_STORE_PATH`` or ``VRD_CACHE_DIR`` disables caching
         (returns ``None``)."""
-        if cache_dir is None:
-            env = os.environ.get(CACHE_DIR_ENV_VAR)
-            if env is not None and not env.strip():
-                return None
-            cache_dir = env or DEFAULT_CACHE_DIR
-        return cls(cache_dir)
+        store = ResultStore.resolve(cache_dir)
+        return None if store is None else cls(store=store)
 
     def key(
         self,
@@ -578,25 +621,31 @@ class CampaignCache:
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.blake2b(blob.encode("utf-8"), digest_size=16).hexdigest()
 
-    def path_for(self, key: str) -> Path:
-        return self.root / f"{key}.json"
+    def has(self, key: str) -> bool:
+        """Whether an entry (of any kind) exists under ``key``."""
+        return self.result_store.has(key)
+
+    def entry_count(self) -> int:
+        """Total entries in the backing store (all kinds)."""
+        return self.result_store.entry_count()
 
     def load(self, key: str) -> Optional[CampaignResult]:
         """The cached campaign for ``key``, or ``None`` on a miss.
 
         Corrupt entries are counted (``cache.corrupt``), evicted, and
-        reported as misses; plain misses and hits are counted too.
+        reported as misses; plain misses and hits are counted too. An
+        entry of the wrong kind under the key is corrupt, not a hit.
         """
         recorder = obs.active()
-        path = self.path_for(key)
-        if not path.exists():
+        payload, status = self.result_store.fetch(key, KIND_CAMPAIGN)
+        if status == "corrupt":
+            recorder.counter_add("cache.corrupt")
+            return None
+        if payload is None:
             recorder.counter_add("cache.miss")
             return None
         try:
-            result = load_campaign(path)
-        except OSError:
-            recorder.counter_add("cache.miss")
-            return None  # unreadable (permissions, races): plain miss
+            result = campaign_from_dict(payload)
         except self._CORRUPT_ERRORS:
             recorder.counter_add("cache.corrupt")
             self.evict(key)
@@ -605,22 +654,12 @@ class CampaignCache:
         return result
 
     def evict(self, key: str) -> None:
-        """Remove one entry from disk (no-op if already gone)."""
-        try:
-            self.path_for(key).unlink()
-        except OSError:
-            pass
+        """Remove one entry from the store (no-op if already gone)."""
+        self.result_store.evict(key)
 
     def store(self, key: str, result: CampaignResult) -> None:
-        """Persist a campaign under ``key`` (atomic within the cache dir)."""
-        path = self.path_for(key)
-        tmp = path.with_suffix(f".tmp-{os.getpid()}")
-        try:
-            save_campaign(result, tmp)
-            tmp.replace(path)
-        finally:
-            if tmp.exists():
-                tmp.unlink()
+        """Persist a campaign under ``key`` (one store transaction)."""
+        self.result_store.put(key, KIND_CAMPAIGN, campaign_to_dict(result))
         obs.active().counter_add("cache.store")
 
     def load_adaptive(self, key: str) -> Optional[AdaptiveResult]:
@@ -629,21 +668,19 @@ class CampaignCache:
         Same corrupt-entry contract as :meth:`load`; an exhaustive
         campaign payload under the key is treated as corrupt (the ``kind``
         discriminator rejects it) — with schedule-aware keys that can only
-        happen through disk tampering or a key collision.
+        happen through tampering or a key collision.
         """
         recorder = obs.active()
-        path = self.path_for(key)
-        if not path.exists():
+        payload, status = self.result_store.fetch(key, KIND_ADAPTIVE)
+        if status == "corrupt":
+            recorder.counter_add("cache.corrupt")
+            return None
+        if payload is None:
             recorder.counter_add("cache.miss")
             return None
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
             result = AdaptiveResult.from_payload(payload)
-        except OSError:
-            recorder.counter_add("cache.miss")
-            return None
-        except self._CORRUPT_ERRORS + (json.JSONDecodeError,):
+        except self._CORRUPT_ERRORS:
             recorder.counter_add("cache.corrupt")
             self.evict(key)
             return None
@@ -651,15 +688,6 @@ class CampaignCache:
         return result
 
     def store_adaptive(self, key: str, result: AdaptiveResult) -> None:
-        """Persist an adaptive run under ``key`` (atomic, like
-        :meth:`store`)."""
-        path = self.path_for(key)
-        tmp = path.with_suffix(f".tmp-{os.getpid()}")
-        try:
-            with open(tmp, "w", encoding="utf-8") as handle:
-                json.dump(result.to_payload(), handle)
-            tmp.replace(path)
-        finally:
-            if tmp.exists():
-                tmp.unlink()
+        """Persist an adaptive run under ``key`` (like :meth:`store`)."""
+        self.result_store.put(key, KIND_ADAPTIVE, result.to_payload())
         obs.active().counter_add("cache.store")

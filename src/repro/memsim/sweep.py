@@ -18,17 +18,18 @@ that grid the way :mod:`repro.core.engine` runs bit-flip campaigns:
   baselines once and serves all of its cells from them. Results are
   bit-identical for any job count.
 * **On-disk cache.** :class:`SweepCache` stores finished sweeps as
-  content-addressed JSON under the same directory the campaign cache uses
-  (``$VRD_CACHE_DIR``, default ``.vrd-cache/``). The key hashes the full
-  recipe — grid, mix count, window, geometry, seed, and engine — so any
-  parameter change is a clean miss, and corrupt entries degrade to misses.
+  content-addressed rows in the same sqlite :class:`~repro.store.db.
+  ResultStore` the campaign cache uses (``$VRD_STORE_PATH``, else
+  ``$VRD_CACHE_DIR/results.sqlite``, default ``.vrd-cache/``). The key
+  hashes the full recipe — grid, mix count, window, geometry, seed, and
+  engine — so any parameter change is a clean miss, and corrupt entries
+  degrade to misses.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -41,6 +42,7 @@ from repro.memsim.metrics import geometric_mean, normalized_weighted_speedup
 from repro.memsim.system import MemorySystem, SystemConfig
 from repro.memsim.trace import WorkloadMix, standard_mixes
 from repro.mitigations import apply_guardband, build_mitigation
+from repro.store.db import DEFAULT_STORE_FILENAME, KIND_SWEEP, ResultStore
 
 #: The Fig. 14 grid (paper Sec. 6.3): four mitigations, a near-future and a
 #: far-future threshold, 0-50% guardbands.
@@ -158,27 +160,46 @@ class SweepResult:
 
 
 class SweepCache:
-    """Content-addressed sweep store (same directory conventions as
-    :class:`repro.core.engine.CampaignCache`)."""
+    """Content-addressed sweep cache: a thin shim over the shared sqlite
+    :class:`~repro.store.db.ResultStore` (kind ``sweep``), sharing keys
+    and conventions with :class:`repro.core.engine.CampaignCache`. The
+    previous one-file-per-entry backend lives on as
+    :class:`repro.store.legacy.FileSweepCache`."""
 
-    def __init__(self, root: "Path | str"):
-        self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+    #: Exceptions that mark a decoded payload as corrupt even though its
+    #: checksum matched (tampering or version skew).
+    _CORRUPT_ERRORS = (
+        ValueError,
+        KeyError,
+        TypeError,
+        AttributeError,
+        ConfigurationError,
+    )
+
+    def __init__(
+        self,
+        root: "Path | str | None" = None,
+        *,
+        store: "Optional[ResultStore]" = None,
+    ):
+        if (root is None) == (store is None):
+            raise ConfigurationError(
+                "pass exactly one of a cache directory or a ResultStore"
+            )
+        if store is None:
+            store = ResultStore(Path(root) / DEFAULT_STORE_FILENAME)
+        self.result_store = store
+        self.root = store.path.parent
 
     @classmethod
     def resolve(
         cls, cache_dir: "Path | str | None" = None
     ) -> "Optional[SweepCache]":
-        """Cache at ``cache_dir``, else ``$VRD_CACHE_DIR``, else
-        ``.vrd-cache/``; empty ``VRD_CACHE_DIR`` disables (``None``)."""
-        from repro.core.engine import CACHE_DIR_ENV_VAR, DEFAULT_CACHE_DIR
-
-        if cache_dir is None:
-            env = os.environ.get(CACHE_DIR_ENV_VAR)
-            if env is not None and not env.strip():
-                return None
-            cache_dir = env or DEFAULT_CACHE_DIR
-        return cls(cache_dir)
+        """Cache under ``cache_dir``, else at ``$VRD_STORE_PATH``, else
+        under ``$VRD_CACHE_DIR``, else ``.vrd-cache/``; an empty
+        ``VRD_STORE_PATH`` or ``VRD_CACHE_DIR`` disables (``None``)."""
+        store = ResultStore.resolve(cache_dir)
+        return None if store is None else cls(store=store)
 
     def key(self, spec: SweepSpec, schedule: str = "exhaustive",
             schedule_params: Optional[dict] = None) -> str:
@@ -199,32 +220,31 @@ class SweepCache:
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.blake2b(blob.encode("utf-8"), digest_size=16).hexdigest()
 
-    def path_for(self, key: str) -> Path:
-        return self.root / f"fig14-{key}.json"
+    def has(self, key: str) -> bool:
+        """Whether an entry (of any kind) exists under ``key``."""
+        return self.result_store.has(key)
 
     def load(self, key: str) -> Optional[SweepResult]:
         """The cached sweep for ``key``, or ``None`` on a miss.
 
         Like :meth:`CampaignCache.load
         <repro.core.engine.CampaignCache.load>`: a truncated/corrupted
-        entry is counted under ``cache.corrupt``, evicted from disk, and
-        recomputed as a miss instead of crashing the sweep.
+        entry is counted under ``cache.corrupt``, evicted from the store,
+        and recomputed as a miss instead of crashing the sweep.
         """
         recorder = obs.active()
-        path = self.path_for(key)
-        if not path.exists():
+        payload, status = self.result_store.fetch(key, KIND_SWEEP)
+        if status == "corrupt":
+            recorder.counter_add("cache.corrupt")
+            return None
+        if payload is None:
             recorder.counter_add("cache.miss")
             return None
         try:
-            payload = json.loads(path.read_text())
             if payload.get("kind") != "fig14-sweep":
                 raise ValueError("wrong cache entry kind")
             result = SweepResult.from_payload(payload)
-        except OSError:
-            recorder.counter_add("cache.miss")
-            return None  # unreadable (permissions, races): plain miss
-        except (ValueError, KeyError, TypeError, AttributeError,
-                ConfigurationError):
+        except self._CORRUPT_ERRORS:
             recorder.counter_add("cache.corrupt")
             self.evict(key)
             return None
@@ -232,21 +252,12 @@ class SweepCache:
         return result
 
     def evict(self, key: str) -> None:
-        """Remove one entry from disk (no-op if already gone)."""
-        try:
-            self.path_for(key).unlink()
-        except OSError:
-            pass
+        """Remove one entry from the store (no-op if already gone)."""
+        self.result_store.evict(key)
 
     def store(self, key: str, result: SweepResult) -> None:
-        path = self.path_for(key)
-        tmp = path.with_suffix(f".tmp-{os.getpid()}")
-        try:
-            tmp.write_text(json.dumps(result.to_payload(), sort_keys=True))
-            tmp.replace(path)
-        finally:
-            if tmp.exists():
-                tmp.unlink()
+        """Persist a sweep under ``key`` (one store transaction)."""
+        self.result_store.put(key, KIND_SWEEP, result.to_payload())
         obs.active().counter_add("cache.store")
 
 

@@ -1,0 +1,50 @@
+"""Concurrent campaign service: ``python -m repro serve``.
+
+An asyncio job queue that accepts campaign / adaptive / sweep requests
+from many clients over a local TCP socket, deduplicates in-flight
+identical jobs (same content-addressed store key), streams partial
+progress events while work runs, and fans measurement out to the same
+worker entry points the :class:`~repro.core.engine.CampaignEngine` uses —
+so a service-computed result is bit-identical to a direct run. Every
+finished job lands in the shared sqlite
+:class:`~repro.store.db.ResultStore`, which is also consulted first: a
+resubmitted job is served from the store in milliseconds.
+
+Layers:
+
+* :mod:`repro.service.jobs` — request validation and
+  :class:`~repro.service.jobs.JobSpec` (kind + store key + normalized
+  parameters).
+* :mod:`repro.service.server` — :class:`~repro.service.server.CampaignService`
+  (the asyncio server), :class:`~repro.service.server.Job` (buffered
+  event fan-out), and :class:`~repro.service.server.ServiceThread` (run a
+  service on a background thread — tests, benchmarks, and the report
+  workload).
+* :mod:`repro.service.client` — :class:`~repro.service.client.ServiceClient`,
+  a small synchronous line-protocol client.
+
+The wire protocol is JSON lines: one request object in, a stream of
+event objects out (``accepted``, then ``rows`` / ``cells`` / ``round``
+progress, then exactly one terminal ``result`` or ``error``). Metrics
+land on the ambient :mod:`repro.obs` recorder: ``service.*`` counters
+(jobs, dedup, store hits), the ``service.queue_depth`` gauge, and the
+``service.job_ms`` latency histogram, all surfaced by
+``python -m repro report``.
+"""
+
+from repro.service.client import ServiceClient  # noqa: F401
+from repro.service.jobs import JobSpec, parse_request  # noqa: F401
+from repro.service.server import (  # noqa: F401
+    CampaignService,
+    Job,
+    ServiceThread,
+)
+
+__all__ = [
+    "CampaignService",
+    "Job",
+    "JobSpec",
+    "ServiceClient",
+    "ServiceThread",
+    "parse_request",
+]

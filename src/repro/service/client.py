@@ -1,0 +1,106 @@
+"""Synchronous line-protocol client for the campaign service.
+
+A thin socket wrapper: send one JSON request line, iterate the event
+lines back until the terminal ``result`` / ``error``. The CLI ``submit``
+subcommand, the service tests, and the concurrency benchmark all drive
+the service through this class; anything that speaks JSON lines (``nc``,
+a few lines of any language) interoperates.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Callable, Iterator, Optional
+
+from repro.errors import MeasurementError
+
+#: Events that end a job's stream.
+TERMINAL_EVENTS = ("result", "error")
+
+
+class ServiceError(MeasurementError):
+    """The service answered a request with an ``error`` event."""
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.service.server.CampaignService`.
+
+    Usable as a context manager; one client can submit any number of
+    requests sequentially over its single connection.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 600.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # -- plumbing ------------------------------------------------------
+
+    def _send(self, payload: dict) -> None:
+        self._file.write(json.dumps(payload).encode("utf-8"))
+        self._file.write(b"\n")
+        self._file.flush()
+
+    def _recv(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("service closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    # -- API -----------------------------------------------------------
+
+    def ping(self) -> bool:
+        self._send({"op": "ping"})
+        return self._recv().get("event") == "pong"
+
+    def stats(self) -> dict:
+        self._send({"op": "stats"})
+        event = self._recv()
+        if event.get("event") != "stats":
+            raise ServiceError(f"unexpected reply: {event}")
+        return event
+
+    def events(self, request: dict) -> Iterator[dict]:
+        """Submit ``request`` and yield every event through the terminal
+        ``result``/``error`` (inclusive)."""
+        self._send(request)
+        while True:
+            event = self._recv()
+            yield event
+            if event.get("event") in TERMINAL_EVENTS:
+                return
+
+    def submit(
+        self,
+        request: dict,
+        on_event: Optional[Callable[[dict], None]] = None,
+    ) -> dict:
+        """Submit ``request`` and block until its terminal event.
+
+        Returns the ``result`` event (whose ``payload`` is the job's
+        result in its JSON form and whose ``status`` says ``"hit"`` or
+        ``"computed"``). Progress events go to ``on_event`` when given.
+        Raises :class:`ServiceError` on an ``error`` event.
+        """
+        last = None
+        for event in self.events(request):
+            if on_event is not None and event.get("event") not in (
+                "result",
+            ):
+                on_event(event)
+            last = event
+        if last.get("event") == "error":
+            raise ServiceError(last.get("error", "unknown service error"))
+        return last
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,161 @@
+"""Request validation: wire payloads become typed, keyed job specs.
+
+A request names a job kind and its recipe; this module normalizes the
+recipe into the exact form the engine layer consumes (``TestConfig``
+objects, ``(bank, row)`` tuples, a ``SweepSpec``) and computes the job's
+content-addressed store key — the same key a direct
+:class:`~repro.core.engine.CampaignEngine` or :func:`~repro.memsim.sweep.
+run_sweep` call would use, which is what makes service results and local
+results interchangeable in one store, and what in-flight deduplication
+keys on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.adaptive import AdaptiveConfig
+from repro.core.config import TestConfig
+from repro.core.store import config_from_dict
+from repro.errors import ConfigurationError, MeasurementError
+from repro.memsim.sweep import SweepSpec
+from repro.rng import DEFAULT_SEED
+from repro.store.db import KIND_ADAPTIVE, KIND_CAMPAIGN, KIND_SWEEP
+
+#: Job kinds the service accepts (wire names; they match the store's
+#: ``kind`` column values).
+JOB_KINDS = (KIND_CAMPAIGN, KIND_ADAPTIVE, KIND_SWEEP)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated, keyed unit of service work.
+
+    ``key`` is the store key; two requests with equal keys are the same
+    job by construction (content addressing), so the server deduplicates
+    on it. The normalized fields carry everything the compute coroutines
+    need without re-parsing the wire payload.
+    """
+
+    kind: str
+    key: str
+    module_id: str = ""
+    seed: int = DEFAULT_SEED
+    pairs: Tuple[Tuple[int, int], ...] = ()
+    configs: Tuple[TestConfig, ...] = ()
+    n_measurements: int = 0
+    disable_interference: bool = True
+    adaptive: Optional[AdaptiveConfig] = None
+    sweep_spec: Optional[SweepSpec] = field(default=None, compare=False)
+
+
+def _require(payload: dict, name: str):
+    if name not in payload:
+        raise ConfigurationError(f"request is missing {name!r}")
+    return payload[name]
+
+
+def _parse_pairs(raw) -> Tuple[Tuple[int, int], ...]:
+    try:
+        pairs = tuple((int(bank), int(row)) for bank, row in raw)
+    except (TypeError, ValueError) as error:
+        raise ConfigurationError(
+            "pairs must be a list of [bank, row] integer pairs"
+        ) from error
+    if not pairs:
+        raise ConfigurationError("campaign needs at least one (bank, row)")
+    return pairs
+
+
+def _parse_configs(raw) -> Tuple[TestConfig, ...]:
+    if not isinstance(raw, Sequence) or not raw:
+        raise ConfigurationError("configs must be a non-empty list")
+    try:
+        return tuple(config_from_dict(entry) for entry in raw)
+    except (
+        ConfigurationError, MeasurementError, KeyError, TypeError, ValueError,
+    ) as error:
+        raise ConfigurationError(f"bad test configuration: {error}") from error
+
+
+def sweep_spec_from_payload(payload: dict) -> SweepSpec:
+    """A :class:`SweepSpec` from its JSON form (lists become tuples)."""
+    if not isinstance(payload, dict):
+        raise ConfigurationError("sweep spec must be an object")
+    fields = dict(payload)
+    for name in ("mitigations", "rdts", "margins"):
+        if name in fields:
+            fields[name] = tuple(fields[name])
+    try:
+        return SweepSpec(**fields)
+    except TypeError as error:
+        raise ConfigurationError(f"bad sweep spec: {error}") from error
+
+
+def parse_request(payload: dict, cache) -> JobSpec:
+    """Validate one wire request into a :class:`JobSpec`.
+
+    ``cache`` is the service's :class:`~repro.core.engine.CampaignCache`
+    (used purely for its :meth:`~repro.core.engine.CampaignCache.key`
+    recipe hash — no I/O happens here).
+    """
+    if not isinstance(payload, dict):
+        raise ConfigurationError("request must be a JSON object")
+    kind = _require(payload, "kind")
+    if kind not in JOB_KINDS:
+        raise ConfigurationError(
+            f"unknown job kind {kind!r}; expected one of {JOB_KINDS}"
+        )
+
+    if kind == KIND_SWEEP:
+        from repro.memsim.sweep import SweepCache
+
+        spec = sweep_spec_from_payload(_require(payload, "spec"))
+        key = SweepCache(store=cache.result_store).key(spec)
+        return JobSpec(kind=kind, key=key, sweep_spec=spec,
+                       seed=spec.seed)
+
+    module_id = str(_require(payload, "module_id"))
+    seed = int(payload.get("seed", DEFAULT_SEED))
+    pairs = _parse_pairs(_require(payload, "pairs"))
+    configs = _parse_configs(_require(payload, "configs"))
+    n_measurements = int(_require(payload, "n_measurements"))
+    if n_measurements < 1:
+        raise ConfigurationError("n_measurements must be >= 1")
+    disable_interference = bool(payload.get("disable_interference", True))
+
+    if kind == KIND_ADAPTIVE:
+        try:
+            adaptive = AdaptiveConfig.from_dict(payload.get("adaptive") or {})
+        except TypeError as error:
+            raise ConfigurationError(
+                f"bad adaptive configuration: {error}"
+            ) from error
+        key = cache.key(
+            seed=seed, module_id=module_id, configs=list(configs),
+            n_measurements=n_measurements, pairs=list(pairs),
+            schedule="adaptive", adaptive=adaptive,
+        )
+        return JobSpec(
+            kind=kind, key=key, module_id=module_id, seed=seed,
+            pairs=pairs, configs=configs, n_measurements=n_measurements,
+            disable_interference=disable_interference, adaptive=adaptive,
+        )
+
+    key = cache.key(
+        seed=seed, module_id=module_id, configs=list(configs),
+        n_measurements=n_measurements, pairs=list(pairs),
+    )
+    return JobSpec(
+        kind=kind, key=key, module_id=module_id, seed=seed,
+        pairs=pairs, configs=configs, n_measurements=n_measurements,
+        disable_interference=disable_interference,
+    )
+
+
+def config_payloads(configs: Sequence[TestConfig]) -> List[dict]:
+    """Wire form of a configuration grid (client-side helper)."""
+    from repro.core.store import config_to_dict
+
+    return [config_to_dict(config) for config in configs]

@@ -1,0 +1,528 @@
+"""The shared sqlite result store.
+
+Design notes (the concurrency story):
+
+* **WAL journal.** Readers never block the single writer and vice versa;
+  concurrent campaign workers and service clients share one database
+  file. ``synchronous=NORMAL`` is the documented safe pairing with WAL —
+  a crash can lose the last transactions but can never tear the database.
+* **Busy handling.** Every connection sets ``busy_timeout``; on top of
+  that, writes retry a few times with backoff on ``database is locked``
+  (the pragma does not cover every contention window, e.g. schema setup
+  racing between processes).
+* **Batched writes.** :meth:`ResultStore.put_many` lands any number of
+  entries inside one ``BEGIN IMMEDIATE`` transaction — one fsync for a
+  whole migration or service flush instead of one per entry.
+* **Checksummed payloads.** Every row stores a blake2b digest of its
+  payload blob. A mismatch (torn write, tampering, bit rot) is detected
+  on read, counted (``store.corrupt``), the row is evicted, and the
+  caller sees a miss — the recompute path of the old file caches,
+  preserved. A malformed database *file* (truncated page, overwritten
+  header) is detected the same way; recovery resets the whole database
+  so subsequent work recomputes cleanly instead of crashing.
+* **Lazy open.** Constructing a store (or resolving one for pure key
+  computation) touches no files; the database and its schema are created
+  on the first read or write.
+
+Connections are per-thread (sqlite3 objects must not hop threads); a
+generation counter invalidates them after a corruption reset.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro import obs
+from repro.errors import ConfigurationError
+
+#: Environment variable naming the database file directly (takes
+#: precedence over ``VRD_CACHE_DIR``; empty disables storage).
+STORE_PATH_ENV_VAR = "VRD_STORE_PATH"
+
+#: Environment variable overriding the default cache directory (legacy
+#: name, still honored; re-exported by :mod:`repro.core.engine`).
+CACHE_DIR_ENV_VAR = "VRD_CACHE_DIR"
+
+#: Default on-disk cache location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".vrd-cache"
+
+#: Database filename used when only a cache *directory* is known.
+DEFAULT_STORE_FILENAME = "results.sqlite"
+
+#: Payload kinds the schema discriminates.
+KIND_CAMPAIGN = "campaign"
+KIND_ADAPTIVE = "adaptive"
+KIND_SWEEP = "sweep"
+KINDS = (KIND_CAMPAIGN, KIND_ADAPTIVE, KIND_SWEEP)
+
+#: Schema version recorded in the ``meta`` table.
+SCHEMA_VERSION = 1
+
+#: Seconds a connection waits for a lock before erroring (pragma).
+BUSY_TIMEOUT_S = 5.0
+
+#: Explicit retries layered over the busy timeout.
+_LOCK_RETRIES = 5
+_LOCK_BACKOFF_S = 0.05
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    key        TEXT PRIMARY KEY,
+    kind       TEXT NOT NULL,
+    checksum   TEXT NOT NULL,
+    payload    BLOB NOT NULL,
+    nbytes     INTEGER NOT NULL,
+    created_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS results_kind ON results (kind);
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+
+def payload_checksum(blob: bytes) -> str:
+    """Content digest stored (and verified) alongside every payload."""
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+
+def encode_payload(payload: dict) -> bytes:
+    """Canonical compact JSON encoding of one payload."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def resolve_store_path(
+    cache_dir: "Path | str | None" = None,
+    store_path: "Path | str | None" = None,
+) -> Optional[Path]:
+    """Database path per the resolution precedence, or ``None`` (disabled).
+
+    Explicit ``store_path`` wins, then an explicit ``cache_dir`` (the
+    database lands at ``cache_dir/results.sqlite``), then
+    ``$VRD_STORE_PATH``, then ``$VRD_CACHE_DIR``, then the default
+    ``.vrd-cache/results.sqlite``. An *empty* environment value disables
+    storage entirely (returns ``None``), matching the old cache
+    convention.
+    """
+    if store_path is not None:
+        return Path(store_path)
+    if cache_dir is not None:
+        return Path(cache_dir) / DEFAULT_STORE_FILENAME
+    env_path = os.environ.get(STORE_PATH_ENV_VAR)
+    if env_path is not None:
+        if not env_path.strip():
+            return None
+        return Path(env_path)
+    env_dir = os.environ.get(CACHE_DIR_ENV_VAR)
+    if env_dir is not None and not env_dir.strip():
+        return None
+    return Path(env_dir or DEFAULT_CACHE_DIR) / DEFAULT_STORE_FILENAME
+
+
+class ResultStore:
+    """One content-addressed result corpus in one sqlite database.
+
+    Args:
+        path: Database file (created lazily, with parent directories).
+        auto_migrate: Import legacy ``*.json`` cache entries from the
+            database's directory the first time the database is created
+            there (see :mod:`repro.store.legacy`).
+    """
+
+    def __init__(self, path: "Path | str", auto_migrate: bool = True):
+        self.path = Path(path)
+        self.auto_migrate = auto_migrate
+        self._local = threading.local()
+        self._generation = 0
+        self._open_lock = threading.Lock()
+        self._opened = False
+
+    @classmethod
+    def resolve(
+        cls,
+        cache_dir: "Path | str | None" = None,
+        store_path: "Path | str | None" = None,
+    ) -> "Optional[ResultStore]":
+        """Store at the resolved path (see :func:`resolve_store_path`),
+        or ``None`` when storage is disabled via the environment."""
+        path = resolve_store_path(cache_dir, store_path)
+        return None if path is None else cls(path)
+
+    # -- connection management -----------------------------------------
+
+    def _configure(self, conn: sqlite3.Connection) -> None:
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute(f"PRAGMA busy_timeout={int(BUSY_TIMEOUT_S * 1000)}")
+        conn.execute("PRAGMA temp_store=MEMORY")
+        conn.execute("PRAGMA cache_size=-16000")  # 16 MB page cache
+
+    def _connection(self) -> sqlite3.Connection:
+        """Thread-local connection, (re)opened lazily and invalidated by
+        corruption resets."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None and self._local.generation == self._generation:
+            return conn
+        if conn is not None:
+            try:
+                conn.close()
+            except sqlite3.Error:
+                pass
+        self._ensure_created()
+        conn = sqlite3.connect(
+            str(self.path), timeout=BUSY_TIMEOUT_S, isolation_level=None
+        )
+        self._configure(conn)
+        self._local.conn = conn
+        self._local.generation = self._generation
+        return conn
+
+    def _ensure_created(self) -> None:
+        """Create the database file, schema, and (once) import legacy
+        file-cache entries sitting next to it."""
+        with self._open_lock:
+            if self._opened and self.path.exists():
+                return
+            created = not self.path.exists()
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(
+                str(self.path), timeout=BUSY_TIMEOUT_S, isolation_level=None
+            )
+            try:
+                self._configure(conn)
+                conn.executescript(_SCHEMA)
+                conn.execute(
+                    "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                    ("schema_version", str(SCHEMA_VERSION)),
+                )
+            finally:
+                conn.close()
+            self._opened = True
+        if created and self.auto_migrate:
+            # Outside the lock: the import reads legacy files and writes
+            # through the normal (already-created) path.
+            from repro.store.legacy import import_legacy_entries
+
+            import_legacy_entries(self, self.path.parent)
+
+    def _legacy_neighbors(self) -> bool:
+        """Whether legacy file-cache entries sit next to the database
+        (worth creating it just to import them)."""
+        if not self.auto_migrate:
+            return False
+        parent = self.path.parent
+        if not parent.is_dir():
+            return False
+        return next(parent.glob("*.json"), None) is not None
+
+    def close(self) -> None:
+        """Close this thread's connection (other threads close their own)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            try:
+                conn.close()
+            except sqlite3.Error:
+                pass
+            self._local.conn = None
+
+    def _reset_database(self) -> None:
+        """Last-resort recovery from a malformed database file: drop it
+        (plus WAL/SHM sidecars) and start empty, so every entry becomes a
+        clean miss that recomputes."""
+        self.close()
+        with self._open_lock:
+            self._generation += 1
+            self._opened = False
+            for suffix in ("", "-wal", "-shm"):
+                try:
+                    Path(f"{self.path}{suffix}").unlink()
+                except OSError:
+                    pass
+
+    # -- retry plumbing ------------------------------------------------
+
+    @staticmethod
+    def _is_locked(error: sqlite3.OperationalError) -> bool:
+        message = str(error).lower()
+        return "locked" in message or "busy" in message
+
+    def _with_retry(self, operation):
+        """Run ``operation(conn)``, retrying on lock contention."""
+        last: Optional[BaseException] = None
+        for attempt in range(_LOCK_RETRIES):
+            try:
+                return operation(self._connection())
+            except sqlite3.OperationalError as error:
+                if not self._is_locked(error):
+                    raise
+                last = error
+                time.sleep(_LOCK_BACKOFF_S * (attempt + 1))
+        raise last  # noqa: B904 — the original lock error, after retries
+
+    # -- reads ---------------------------------------------------------
+
+    def _fetch_blob(self, key: str, kind: str) -> Tuple[Optional[bytes], str]:
+        """Shared read path: the checksum/kind-verified payload blob and
+        its status, without decoding (and without counting hits — the
+        callers count once decoding, if any, succeeded)."""
+        recorder = obs.active()
+        if not self.path.exists() and not self._legacy_neighbors():
+            # Nothing stored and nothing to migrate: stay lazy. (With
+            # legacy files present, falling through creates the database
+            # and imports them — first-open reads keep their hits.)
+            recorder.counter_add("store.miss")
+            return None, "miss"
+        try:
+            row = self._with_retry(
+                lambda conn: conn.execute(
+                    "SELECT kind, checksum, payload FROM results "
+                    "WHERE key = ?",
+                    (key,),
+                ).fetchone()
+            )
+        except sqlite3.OperationalError:
+            recorder.counter_add("store.miss")
+            return None, "miss"  # unreadable (open/permission races)
+        except sqlite3.DatabaseError:
+            # Torn page, truncated file, not-a-database header: the file
+            # itself is damaged. Reset so everything recomputes.
+            recorder.counter_add("store.corrupt")
+            self._reset_database()
+            return None, "corrupt"
+        if row is None:
+            recorder.counter_add("store.miss")
+            return None, "miss"
+        stored_kind, checksum, blob = row
+        if stored_kind != kind or payload_checksum(blob) != checksum:
+            recorder.counter_add("store.corrupt")
+            self.evict(key)
+            return None, "corrupt"
+        return blob, "hit"
+
+    def fetch(self, key: str, kind: str) -> Tuple[Optional[dict], str]:
+        """``(payload, status)`` for one entry.
+
+        Status is ``"hit"`` (payload verified and decoded), ``"miss"``
+        (absent, or the database is unreadable — permissions/races — in
+        which case nothing is evicted), or ``"corrupt"`` (checksum or
+        kind mismatch, undecodable payload, or a malformed database;
+        counted under ``store.corrupt``, evicted, payload ``None``).
+        """
+        recorder = obs.active()
+        blob, status = self._fetch_blob(key, kind)
+        if blob is None:
+            return None, status
+        try:
+            payload = json.loads(blob.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("payload root must be an object")
+        except (ValueError, UnicodeDecodeError):
+            recorder.counter_add("store.corrupt")
+            self.evict(key)
+            return None, "corrupt"
+        recorder.counter_add("store.hit")
+        return payload, "hit"
+
+    def fetch_raw(self, key: str, kind: str) -> Tuple[Optional[bytes], str]:
+        """Like :meth:`fetch` but returns the verified payload *blob*
+        (canonical JSON bytes) without decoding it — the service splices
+        this straight into its wire protocol on warm hits, skipping a
+        decode/re-encode round trip per answer. The checksum guarantees
+        the bytes are exactly what :func:`encode_payload` stored.
+        """
+        blob, status = self._fetch_blob(key, kind)
+        if blob is not None:
+            obs.active().counter_add("store.hit")
+        return blob, status
+
+    def get(self, key: str, kind: str) -> Optional[dict]:
+        """The payload for ``key`` of ``kind``, or ``None`` (miss or
+        corrupt — corruption is evicted so a recompute can restore)."""
+        payload, _ = self.fetch(key, kind)
+        return payload
+
+    def has(self, key: str) -> bool:
+        if not self.path.exists():
+            return False
+        try:
+            row = self._with_retry(
+                lambda conn: conn.execute(
+                    "SELECT 1 FROM results WHERE key = ?", (key,)
+                ).fetchone()
+            )
+        except sqlite3.DatabaseError:
+            return False
+        return row is not None
+
+    def keys(self, kind: Optional[str] = None) -> List[str]:
+        if not self.path.exists():
+            return []
+        if kind is None:
+            rows = self._with_retry(
+                lambda conn: conn.execute(
+                    "SELECT key FROM results ORDER BY key"
+                ).fetchall()
+            )
+        else:
+            rows = self._with_retry(
+                lambda conn: conn.execute(
+                    "SELECT key FROM results WHERE kind = ? ORDER BY key",
+                    (kind,),
+                ).fetchall()
+            )
+        return [key for (key,) in rows]
+
+    def entry_count(self, kind: Optional[str] = None) -> int:
+        if not self.path.exists():
+            return 0
+        if kind is None:
+            row = self._with_retry(
+                lambda conn: conn.execute(
+                    "SELECT COUNT(*) FROM results"
+                ).fetchone()
+            )
+        else:
+            row = self._with_retry(
+                lambda conn: conn.execute(
+                    "SELECT COUNT(*) FROM results WHERE kind = ?", (kind,)
+                ).fetchone()
+            )
+        return int(row[0])
+
+    def stats(self) -> Dict[str, object]:
+        """Entry counts per kind plus total payload bytes."""
+        per_kind: Dict[str, int] = {}
+        total_bytes = 0
+        if self.path.exists():
+            rows = self._with_retry(
+                lambda conn: conn.execute(
+                    "SELECT kind, COUNT(*), COALESCE(SUM(nbytes), 0) "
+                    "FROM results GROUP BY kind"
+                ).fetchall()
+            )
+            for kind, count, nbytes in rows:
+                per_kind[kind] = int(count)
+                total_bytes += int(nbytes)
+        return {
+            "path": str(self.path),
+            "entries": sum(per_kind.values()),
+            "per_kind": per_kind,
+            "payload_bytes": total_bytes,
+        }
+
+    # -- writes --------------------------------------------------------
+
+    def put(self, key: str, kind: str, payload: dict) -> None:
+        """Insert or replace one entry."""
+        self.put_many([(key, kind, payload)])
+
+    def put_many(
+        self, entries: Iterable[Tuple[str, str, dict]]
+    ) -> int:
+        """Insert or replace many entries inside one transaction.
+
+        Returns the number of entries written. Batching is the fast path
+        for migrations and service flushes: one transaction, one fsync.
+        """
+        rows = []
+        now = time.time()
+        for key, kind, payload in entries:
+            if kind not in KINDS:
+                raise ConfigurationError(
+                    f"unknown result kind {kind!r}; expected one of {KINDS}"
+                )
+            blob = encode_payload(payload)
+            rows.append(
+                (key, kind, payload_checksum(blob), blob, len(blob), now)
+            )
+        if not rows:
+            return 0
+
+        def write(conn: sqlite3.Connection):
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                conn.executemany(
+                    "INSERT OR REPLACE INTO results "
+                    "(key, kind, checksum, payload, nbytes, created_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    rows,
+                )
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            return len(rows)
+
+        written = self._with_retry(write)
+        obs.active().counter_add("store.put", written)
+        return written
+
+    def put_many_if_absent(
+        self, entries: Iterable[Tuple[str, str, dict]]
+    ) -> int:
+        """Like :meth:`put_many` but never clobbers existing entries
+        (``INSERT OR IGNORE``) — the migration semantics: the store is
+        the newer authority. Returns how many rows were actually added.
+        """
+        rows = []
+        now = time.time()
+        for key, kind, payload in entries:
+            if kind not in KINDS:
+                raise ConfigurationError(
+                    f"unknown result kind {kind!r}; expected one of {KINDS}"
+                )
+            blob = encode_payload(payload)
+            rows.append(
+                (key, kind, payload_checksum(blob), blob, len(blob), now)
+            )
+        if not rows:
+            return 0
+
+        def write(conn: sqlite3.Connection):
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                before = conn.execute(
+                    "SELECT COUNT(*) FROM results"
+                ).fetchone()[0]
+                conn.executemany(
+                    "INSERT OR IGNORE INTO results "
+                    "(key, kind, checksum, payload, nbytes, created_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    rows,
+                )
+                after = conn.execute(
+                    "SELECT COUNT(*) FROM results"
+                ).fetchone()[0]
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            return int(after - before)
+
+        added = self._with_retry(write)
+        if added:
+            obs.active().counter_add("store.put", added)
+        return added
+
+    def evict(self, key: str) -> None:
+        """Remove one entry (no-op if absent or the database is gone)."""
+        if not self.path.exists():
+            return
+        try:
+            self._with_retry(
+                lambda conn: conn.execute(
+                    "DELETE FROM results WHERE key = ?", (key,)
+                )
+            )
+        except sqlite3.DatabaseError:
+            pass

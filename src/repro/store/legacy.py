@@ -1,0 +1,248 @@
+"""The previous one-file-per-entry caches, and their migration path.
+
+Before the sqlite store, :class:`~repro.core.engine.CampaignCache` and
+:class:`~repro.memsim.sweep.SweepCache` wrote one JSON file per entry
+under a cache directory (``<key>.json`` for campaign and adaptive
+payloads, ``fig14-<key>.json`` for sweeps). Those implementations live on
+here, verbatim in behavior, because they still have three jobs:
+
+* **Migration source.** :func:`import_legacy_entries` lifts a legacy
+  directory into a :class:`~repro.store.db.ResultStore` — run
+  transparently the first time a store is created next to legacy files,
+  and explicitly via ``python -m repro store migrate``.
+* **Differential oracle.** The store-backed cache path must return
+  bit-identical payloads to the file-backed path
+  (``tests/differential/``).
+* **Benchmark baseline.** ``benchmarks/test_perf_store.py`` measures N
+  concurrent clients sharing one store against today's isolated
+  per-process file caches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator, Optional, Tuple
+
+from repro import obs
+from repro.store.db import (
+    KIND_ADAPTIVE,
+    KIND_CAMPAIGN,
+    KIND_SWEEP,
+    ResultStore,
+)
+
+#: Filename prefix the file-backed sweep cache used.
+SWEEP_FILE_PREFIX = "fig14-"
+
+#: Exceptions that mark an on-disk file entry as corrupt (as opposed to
+#: merely absent/unreadable).
+_CORRUPT_ERRORS = (ValueError, KeyError, TypeError, AttributeError)
+
+
+class FileCampaignCache:
+    """The original file-per-entry campaign/adaptive cache (one JSON file
+    per key under ``root``); see the module docstring for why it
+    survives. Keys come from :meth:`CampaignCache.key
+    <repro.core.engine.CampaignCache.key>` — the two backends are
+    interchangeable per entry."""
+
+    def __init__(self, root: "Path | str"):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str):
+        from repro.core.store import load_campaign
+        from repro.errors import MeasurementError
+
+        recorder = obs.active()
+        path = self.path_for(key)
+        if not path.exists():
+            recorder.counter_add("cache.miss")
+            return None
+        try:
+            result = load_campaign(path)
+        except OSError:
+            recorder.counter_add("cache.miss")
+            return None  # unreadable (permissions, races): plain miss
+        except _CORRUPT_ERRORS + (MeasurementError,):
+            recorder.counter_add("cache.corrupt")
+            self.evict(key)
+            return None
+        recorder.counter_add("cache.hit")
+        return result
+
+    def store(self, key: str, result) -> None:
+        from repro.core.store import save_campaign
+
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        try:
+            save_campaign(result, tmp)
+            tmp.replace(path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        obs.active().counter_add("cache.store")
+
+    def load_adaptive(self, key: str):
+        from repro.core.adaptive import AdaptiveResult
+        from repro.errors import MeasurementError
+
+        recorder = obs.active()
+        path = self.path_for(key)
+        if not path.exists():
+            recorder.counter_add("cache.miss")
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            result = AdaptiveResult.from_payload(payload)
+        except OSError:
+            recorder.counter_add("cache.miss")
+            return None
+        except _CORRUPT_ERRORS + (MeasurementError, json.JSONDecodeError):
+            recorder.counter_add("cache.corrupt")
+            self.evict(key)
+            return None
+        recorder.counter_add("cache.hit")
+        return result
+
+    def store_adaptive(self, key: str, result) -> None:
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(result.to_payload(), handle)
+            tmp.replace(path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        obs.active().counter_add("cache.store")
+
+    def evict(self, key: str) -> None:
+        try:
+            self.path_for(key).unlink()
+        except OSError:
+            pass
+
+
+class FileSweepCache:
+    """The original file-per-entry Fig. 14 sweep cache (``fig14-<key>.json``
+    under ``root``); key recipe shared with :meth:`SweepCache.key
+    <repro.memsim.sweep.SweepCache.key>`."""
+
+    def __init__(self, root: "Path | str"):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{SWEEP_FILE_PREFIX}{key}.json"
+
+    def load(self, key: str):
+        from repro.errors import ConfigurationError
+        from repro.memsim.sweep import SweepResult
+
+        recorder = obs.active()
+        path = self.path_for(key)
+        if not path.exists():
+            recorder.counter_add("cache.miss")
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("kind") != "fig14-sweep":
+                raise ValueError("wrong cache entry kind")
+            result = SweepResult.from_payload(payload)
+        except OSError:
+            recorder.counter_add("cache.miss")
+            return None
+        except _CORRUPT_ERRORS + (ConfigurationError,):
+            recorder.counter_add("cache.corrupt")
+            self.evict(key)
+            return None
+        recorder.counter_add("cache.hit")
+        return result
+
+    def store(self, key: str, result) -> None:
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        try:
+            tmp.write_text(json.dumps(result.to_payload(), sort_keys=True))
+            tmp.replace(path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        obs.active().counter_add("cache.store")
+
+    def evict(self, key: str) -> None:
+        try:
+            self.path_for(key).unlink()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Migration
+# ----------------------------------------------------------------------
+
+
+def classify_legacy_payload(name: str, payload: dict) -> Optional[str]:
+    """The store kind a legacy file payload belongs to, or ``None``.
+
+    Sweeps are named (``fig14-`` prefix) *and* self-describing
+    (``kind == "fig14-sweep"``); adaptive payloads carry the
+    ``adaptive-campaign`` discriminator; campaign payloads are the
+    original versioned format. Anything else is not ours to migrate.
+    """
+    if not isinstance(payload, dict):
+        return None
+    if name.startswith(SWEEP_FILE_PREFIX):
+        return KIND_SWEEP if payload.get("kind") == "fig14-sweep" else None
+    if payload.get("kind") == "adaptive-campaign":
+        return KIND_ADAPTIVE
+    if "format_version" in payload and "observations" in payload:
+        return KIND_CAMPAIGN
+    return None
+
+
+def iter_legacy_entries(
+    root: "Path | str",
+) -> Iterator[Tuple[str, str, dict]]:
+    """Yield ``(key, kind, payload)`` for every readable legacy entry
+    under ``root`` (unparseable or foreign JSON files are skipped)."""
+    root = Path(root)
+    if not root.is_dir():
+        return
+    for path in sorted(root.glob("*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        name = path.stem
+        kind = classify_legacy_payload(name, payload)
+        if kind is None:
+            continue
+        key = name[len(SWEEP_FILE_PREFIX):] if kind == KIND_SWEEP else name
+        yield key, kind, payload
+
+
+def import_legacy_entries(
+    store: ResultStore, root: "Path | str"
+) -> int:
+    """Import every legacy file entry under ``root`` into ``store``.
+
+    One batched transaction; existing store entries are never clobbered
+    (the store is the newer authority). Legacy files are left in place —
+    the import is additive, and old code paths keep working during a
+    rollout. Returns the number of entries actually added.
+    """
+    entries = list(iter_legacy_entries(root))
+    if not entries:
+        return 0
+    added = store.put_many_if_absent(entries)
+    obs.active().counter_add("store.migrated", added)
+    return added

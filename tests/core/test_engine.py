@@ -197,7 +197,7 @@ def test_cache_round_trip(tmp_path, serial_result):
     cache = CampaignCache(tmp_path / "cache")
     engine = _engine(n_jobs=1, cache=cache)
     first = engine.run(ROWS)
-    assert cache.path_for(
+    assert cache.has(
         cache.key(
             seed=SEED,
             module_id=MODULE_ID,
@@ -205,7 +205,7 @@ def test_cache_round_trip(tmp_path, serial_result):
             n_measurements=N_MEASUREMENTS,
             pairs=[(0, row) for row in ROWS],
         )
-    ).exists()
+    )
     reloaded = _engine(n_jobs=1, cache=cache).run(ROWS)
     assert_identical(reloaded, first)
     assert_identical(reloaded, serial_result)
@@ -215,7 +215,7 @@ def test_cache_misses_on_different_seed(tmp_path):
     cache = CampaignCache(tmp_path / "cache")
     first = _engine(n_jobs=1, cache=cache, seed=SEED).run(ROWS)
     other = _engine(n_jobs=1, cache=cache, seed=SEED + 1).run(ROWS)
-    assert len(list(cache.root.glob("*.json"))) == 2
+    assert cache.entry_count() == 2
     with pytest.raises(AssertionError):
         assert_identical(first, other)
 
@@ -298,7 +298,7 @@ def test_adaptive_and_exhaustive_never_alias_on_disk(tmp_path):
         adaptive=adaptive_config,
     )
     adaptive = adaptive_engine.run(ROWS)
-    assert len(list(cache.root.glob("*.json"))) == 2
+    assert cache.entry_count() == 2
 
     reloaded_exhaustive = _engine(n_jobs=1, cache=cache).run(ROWS)
     assert_identical(reloaded_exhaustive, exhaustive)
@@ -315,12 +315,33 @@ def test_load_adaptive_rejects_exhaustive_payload(tmp_path):
     cache = CampaignCache(tmp_path / "cache")
     first = _engine(n_jobs=1, cache=cache).run(ROWS)
     assert first is not None
-    [path] = cache.root.glob("*.json")
-    key = path.stem
+    [key] = cache.result_store.keys()
     with obs.tracing() as recorder:
         assert cache.load_adaptive(key) is None
     assert recorder.counters.get("cache.corrupt") == 1
-    assert not path.exists()  # evicted
+    assert not cache.has(key)  # evicted
+
+
+def _inject_raw(cache, key, blob, kind="campaign"):
+    """Plant a raw payload blob under ``key`` with a *matching* checksum,
+    bypassing the store's JSON encoding — simulates a tampered or
+    version-skewed entry that passes integrity checks but fails to
+    decode/validate."""
+    import sqlite3
+    import time
+
+    from repro.store.db import payload_checksum
+
+    store = cache.result_store
+    store._ensure_created()
+    with sqlite3.connect(store.path) as conn:
+        conn.execute(
+            "INSERT OR REPLACE INTO results "
+            "(key, kind, checksum, payload, nbytes, created_at) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (key, kind, payload_checksum(blob), blob, len(blob),
+             time.time()),
+        )
 
 
 @pytest.mark.parametrize("blob", [
@@ -334,21 +355,30 @@ def test_corrupt_cache_entry_is_counted_evicted_and_missed(tmp_path, blob):
 
     cache = CampaignCache(tmp_path / "cache")
     key = "deadbeef"
-    cache.path_for(key).write_text(blob)
+    _inject_raw(cache, key, blob.encode("utf-8"))
     with obs.tracing() as recorder:
         assert cache.load(key) is None
     assert recorder.counters.get("cache.corrupt") == 1
     assert "cache.hit" not in recorder.counters
-    assert not cache.path_for(key).exists()  # evicted from disk
+    assert not cache.has(key)  # evicted from the store
 
 
 def test_corrupt_entry_recomputes_to_identical_result(tmp_path, serial_result):
     from repro import obs
 
+    import sqlite3
+
     cache = CampaignCache(tmp_path / "cache")
     _engine(n_jobs=1, cache=cache).run(ROWS)
-    [entry] = cache.root.glob("*.json")
-    entry.write_text(entry.read_text()[: entry.stat().st_size // 2])
+    [key] = cache.result_store.keys()
+    with sqlite3.connect(cache.result_store.path) as conn:
+        (blob,) = conn.execute(
+            "SELECT payload FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        conn.execute(  # torn write: checksum no longer matches
+            "UPDATE results SET payload = ? WHERE key = ?",
+            (blob[: len(blob) // 2], key),
+        )
 
     with obs.tracing() as recorder:
         recomputed = _engine(n_jobs=1, cache=cache).run(ROWS)
@@ -361,17 +391,19 @@ def test_corrupt_entry_recomputes_to_identical_result(tmp_path, serial_result):
     assert recorder.counters.get("cache.hit") == 1
 
 
-def test_unreadable_cache_entry_is_a_plain_miss(tmp_path):
+def test_unreadable_store_is_a_plain_miss(tmp_path):
     from repro import obs
 
     cache = CampaignCache(tmp_path / "cache")
-    key = "deadbeef"
-    cache.path_for(key).mkdir()  # exists but unreadable as a file: OSError
+    # Occupy the database path with a directory: sqlite cannot open it
+    # (OSError-equivalent), which must degrade to a plain miss — not a
+    # corruption event, and nothing to evict.
+    cache.result_store.path.mkdir(parents=True)
     with obs.tracing() as recorder:
-        assert cache.load(key) is None
+        assert cache.load("deadbeef") is None
     assert recorder.counters.get("cache.miss") == 1
     assert "cache.corrupt" not in recorder.counters
-    assert cache.path_for(key).exists()  # not evicted: nothing to repair
+    assert cache.result_store.path.exists()  # left alone: nothing to repair
 
 
 def test_cache_resolve_env(tmp_path, monkeypatch):
@@ -381,3 +413,13 @@ def test_cache_resolve_env(tmp_path, monkeypatch):
     monkeypatch.setenv("VRD_CACHE_DIR", "")
     assert CampaignCache.resolve() is None
     assert CampaignCache.resolve(tmp_path / "explicit") is not None
+
+    # VRD_STORE_PATH names the database file directly and outranks
+    # VRD_CACHE_DIR; empty disables like the legacy variable.
+    monkeypatch.setenv("VRD_CACHE_DIR", str(tmp_path / "ignored"))
+    monkeypatch.setenv("VRD_STORE_PATH", str(tmp_path / "direct.sqlite"))
+    cache = CampaignCache.resolve()
+    assert cache is not None
+    assert cache.result_store.path == tmp_path / "direct.sqlite"
+    monkeypatch.setenv("VRD_STORE_PATH", "")
+    assert CampaignCache.resolve() is None

@@ -19,6 +19,7 @@ fastfaults          per-row ``RowVrdProcess``           packed ``BankVrdState``
 bender              scalar ``Interpreter`` trials       compiled trial replay
 ecc                 per-codeword encode/decode          ``encode_batch``/``decode_batch``
 adaptive            serial ``AdaptiveScheduler``        ``CampaignEngine`` adaptive (2 jobs)
+store               legacy file-per-entry caches        sqlite ``ResultStore`` shims
 ==================  ==================================  =========================
 """
 
@@ -326,6 +327,110 @@ def ecc_fast(seed: int) -> tuple:
 
 
 # ----------------------------------------------------------------------
+# store: legacy file-per-entry caches vs sqlite ResultStore shims
+# ----------------------------------------------------------------------
+
+_STORE_ROWS = [3, 11]
+_STORE_N = 10
+
+
+def _store_workloads(seed: int):
+    """One (campaign, adaptive, sweep) result triple per seed, computed
+    once and round-tripped through both storage backends. Cached because
+    the backends must see the *same* in-memory results — the case is
+    about storage fidelity, not measurement."""
+    cached = _STORE_WORKLOADS.get(seed)
+    if cached is not None:
+        return cached
+
+    from repro.core import AdaptiveConfig
+    from repro.core.engine import CampaignEngine
+    from repro.memsim.sweep import SweepSpec, run_sweep
+
+    _, configs = _engine_workload(seed)
+    campaign = CampaignEngine(
+        "M1", configs, n_measurements=_STORE_N, seed=seed, n_jobs=1,
+    ).run(_STORE_ROWS)
+    adaptive = CampaignEngine(
+        "M1", configs, n_measurements=_STORE_N * 2, seed=seed, n_jobs=1,
+        schedule="adaptive",
+        adaptive=AdaptiveConfig(max_measurements=_STORE_N * 2),
+    ).run(_STORE_ROWS)
+    pick = random.Random(seed + 5)
+    spec = SweepSpec(
+        mitigations=("PARA",), rdts=(1024.0,),
+        margins=(pick.choice([0.0, 0.25]),),
+        n_mixes=1, window_ns=2_000.0, n_rows=1 << 8,
+        seed=seed % 997 + 1,
+    )
+    sweep = run_sweep(spec)
+    _STORE_WORKLOADS[seed] = (configs, campaign, adaptive, spec, sweep)
+    return _STORE_WORKLOADS[seed]
+
+
+_STORE_WORKLOADS: dict = {}
+
+
+def _store_roundtrip(seed: int, backend: str) -> tuple:
+    """Store the seed's three results through ``backend``, reload them,
+    and fingerprint the reloaded payloads as canonical JSON."""
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.engine import CampaignCache
+    from repro.core.store import campaign_to_dict
+    from repro.memsim.sweep import SweepCache
+
+    configs, campaign, adaptive, spec, sweep = _store_workloads(seed)
+    pairs = [(0, row) for row in _STORE_ROWS]
+    keyer = CampaignCache.resolve(".")  # key() is pure: no I/O
+    campaign_key = keyer.key(
+        seed=seed, module_id="M1", configs=configs,
+        n_measurements=_STORE_N, pairs=pairs,
+    )
+    adaptive_key = keyer.key(
+        seed=seed, module_id="M1", configs=configs,
+        n_measurements=_STORE_N * 2, pairs=pairs,
+        schedule="adaptive", adaptive=adaptive.adaptive,
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        sweep_key = SweepCache(Path(tmp)).key(spec)
+        if backend == "file":
+            from repro.store.legacy import FileCampaignCache, FileSweepCache
+
+            caches = FileCampaignCache(tmp), FileSweepCache(tmp)
+        else:
+            campaign_cache = CampaignCache(Path(tmp))
+            caches = (
+                campaign_cache,
+                SweepCache(store=campaign_cache.result_store),
+            )
+        campaign_cache, sweep_cache = caches
+        campaign_cache.store(campaign_key, campaign)
+        campaign_cache.store_adaptive(adaptive_key, adaptive)
+        sweep_cache.store(sweep_key, sweep)
+
+        reloaded = {
+            "campaign": campaign_to_dict(campaign_cache.load(campaign_key)),
+            "adaptive": campaign_cache.load_adaptive(
+                adaptive_key
+            ).to_payload(),
+            "sweep": sweep_cache.load(sweep_key).to_payload(),
+        }
+    return (json.dumps(reloaded, sort_keys=True),)
+
+
+def store_oracle(seed: int) -> tuple:
+    return _store_roundtrip(seed, "file")
+
+
+def store_fast(seed: int) -> tuple:
+    return _store_roundtrip(seed, "sqlite")
+
+
+# ----------------------------------------------------------------------
 
 CASES: List[DifferentialCase] = [
     DifferentialCase("engine", engine_oracle, engine_fast),
@@ -334,4 +439,5 @@ CASES: List[DifferentialCase] = [
     DifferentialCase("bender", bender_oracle, bender_fast),
     DifferentialCase("ecc", ecc_oracle, ecc_fast),
     DifferentialCase("adaptive", adaptive_oracle, adaptive_fast),
+    DifferentialCase("store", store_oracle, store_fast),
 ]

@@ -81,11 +81,30 @@ def test_cache_roundtrip(sweep, tmp_path):
     assert cache.load(cache.key(other)) is None
 
 
+def _inject_raw(cache, key, blob, kind="sweep"):
+    """Plant a raw payload blob under ``key`` with a matching checksum
+    (tampered/version-skewed entry: integrity passes, decoding fails)."""
+    import sqlite3
+    import time
+
+    from repro.store.db import payload_checksum
+
+    store = cache.result_store
+    store._ensure_created()
+    with sqlite3.connect(store.path) as conn:
+        conn.execute(
+            "INSERT OR REPLACE INTO results "
+            "(key, kind, checksum, payload, nbytes, created_at) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (key, kind, payload_checksum(blob), blob, len(blob),
+             time.time()),
+        )
+
+
 def test_cache_corruption_degrades_to_miss(sweep, tmp_path):
     cache = SweepCache(tmp_path)
     run_sweep(SPEC, cache=cache)
-    path = cache.path_for(cache.key(SPEC))
-    path.write_text("{not json")
+    _inject_raw(cache, cache.key(SPEC), b"{not json")
     assert cache.load(cache.key(SPEC)) is None
     recomputed = run_sweep(SPEC, cache=cache)  # recomputes and re-stores
     assert recomputed.per_mix == sweep.per_mix
@@ -98,19 +117,18 @@ def test_cache_corruption_is_counted_and_evicted(sweep, tmp_path):
     cache = SweepCache(tmp_path)
     run_sweep(SPEC, cache=cache)
     key = cache.key(SPEC)
-    path = cache.path_for(key)
     for blob in (
-        "{not json",                    # truncated writer
-        "[]",                           # wrong payload root
-        '{"kind": "something-else"}',   # wrong entry kind
-        '{"kind": "fig14-sweep"}',      # right kind, missing body
+        b"{not json",                    # truncated writer
+        b"[]",                           # wrong payload root
+        b'{"kind": "something-else"}',   # wrong entry kind
+        b'{"kind": "fig14-sweep"}',      # right kind, missing body
     ):
-        path.write_text(blob)
+        _inject_raw(cache, key, blob)
         with obs.tracing() as recorder:
             assert cache.load(key) is None
         assert recorder.counters.get("cache.corrupt") == 1, blob
         assert "cache.hit" not in recorder.counters, blob
-        assert not path.exists(), blob  # evicted from disk
+        assert not cache.has(key), blob  # evicted from the store
 
     with obs.tracing() as recorder:
         recomputed = run_sweep(SPEC, cache=cache)

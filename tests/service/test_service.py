@@ -1,0 +1,193 @@
+"""The campaign service end to end: submit, stream, dedup, store.
+
+Each test runs a real :class:`~repro.service.server.ServiceThread` over a
+temporary store and talks to it through
+:class:`~repro.service.client.ServiceClient` — the same stack
+``python -m repro serve`` / ``submit`` use.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.core import AdaptiveConfig, CHECKERED0, TestConfig
+from repro.core.engine import CampaignEngine
+from repro.core.store import campaign_to_dict, config_to_dict
+from repro.memsim.sweep import SweepSpec, run_sweep
+from repro.service import ServiceThread
+from repro.service.client import ServiceError
+from repro.store import DEFAULT_STORE_FILENAME, ResultStore
+
+MODULE_ID = "M1"
+SEED = 23
+PAIRS = [(0, 3), (0, 17)]
+CONFIGS = [TestConfig(CHECKERED0, t_agg_on_ns=35.0)]
+N = 12
+
+
+@pytest.fixture()
+def service(tmp_path):
+    store = ResultStore(tmp_path / DEFAULT_STORE_FILENAME)
+    with ServiceThread(store=store, n_jobs=2) as thread:
+        yield thread
+
+
+def _campaign_request(n_measurements=N):
+    return {
+        "kind": "campaign",
+        "module_id": MODULE_ID,
+        "seed": SEED,
+        "pairs": [list(pair) for pair in PAIRS],
+        "configs": [config_to_dict(config) for config in CONFIGS],
+        "n_measurements": n_measurements,
+    }
+
+
+def test_campaign_computed_then_hit_bit_identical(service):
+    with service.client() as client:
+        first = client.submit(_campaign_request())
+        second = client.submit(_campaign_request())
+    assert first["status"] == "computed"
+    assert second["status"] == "hit"
+    assert second["payload"] == first["payload"]
+    assert second["key"] == first["key"]
+
+    # Bit-identical to a direct engine run of the same recipe — sharding
+    # through the service worker pool must not change results.
+    direct = CampaignEngine(
+        MODULE_ID, CONFIGS, n_measurements=N, seed=SEED, n_jobs=1,
+    ).run_pairs(PAIRS)
+    assert first["payload"] == campaign_to_dict(direct)
+
+
+def test_streaming_event_order(service):
+    events = []
+    with service.client() as client:
+        events = list(client.events(_campaign_request()))
+    assert events[0]["event"] == "accepted"
+    assert events[0]["deduped"] is False
+    assert events[-1]["event"] == "result"
+    rows = [event for event in events if event["event"] == "rows"]
+    assert rows  # progress streamed before the terminal result
+    assert [event["done_shards"] for event in rows] == list(
+        range(1, len(rows) + 1)
+    )
+    assert all(event["shards"] == len(rows) for event in rows)
+
+
+def test_adaptive_round_trip_matches_engine(service):
+    adaptive = AdaptiveConfig(min_measurements=4, max_measurements=N)
+    request = dict(_campaign_request(), kind="adaptive",
+                   adaptive=adaptive.to_dict())
+    rounds = []
+    with service.client() as client:
+        result = client.submit(
+            request,
+            on_event=lambda e: rounds.append(e)
+            if e.get("event") == "round" else None,
+        )
+    assert result["status"] == "computed"
+    assert result["kind"] == "adaptive"
+    assert [event["round"] for event in rounds] == list(
+        range(1, len(rounds) + 1)
+    )
+
+    direct = CampaignEngine(
+        MODULE_ID, CONFIGS, n_measurements=N, seed=SEED, n_jobs=1,
+        schedule="adaptive", adaptive=adaptive,
+    ).run_pairs(PAIRS)
+    assert result["payload"] == direct.to_payload()
+
+
+def test_sweep_round_trip_matches_run_sweep(service):
+    spec = SweepSpec(
+        mitigations=("PARA",), rdts=(1024.0,), margins=(0.0,),
+        n_mixes=2, window_ns=2_000.0, n_rows=1 << 8,
+    )
+    request = {"kind": "sweep", "spec": {
+        "mitigations": list(spec.mitigations),
+        "rdts": list(spec.rdts),
+        "margins": list(spec.margins),
+        "n_mixes": spec.n_mixes,
+        "window_ns": spec.window_ns,
+        "n_rows": spec.n_rows,
+    }}
+    with service.client() as client:
+        first = client.submit(request)
+        second = client.submit(request)
+    assert first["status"] == "computed"
+    assert second["status"] == "hit"
+    # Compare in wire form: JSON turns the spec's tuples into lists.
+    direct = json.loads(json.dumps(run_sweep(spec).to_payload()))
+    assert first["payload"] == direct
+    assert second["payload"] == first["payload"]
+
+
+def test_inflight_dedup_single_compute(service):
+    # A slow enough job that a second submission lands while the first
+    # is still computing.
+    request = _campaign_request(n_measurements=400)
+    results = {}
+
+    def submit(name, client):
+        accepted = {}
+
+        def watch(event):
+            if event.get("event") == "accepted":
+                accepted.update(event)
+
+        results[name] = (client.submit(request, on_event=watch), accepted)
+
+    with service.client() as a, service.client() as b:
+        # Start the job on connection A, then immediately race B in.
+        thread_a = threading.Thread(target=submit, args=("a", a))
+        thread_a.start()
+        thread_b = threading.Thread(target=submit, args=("b", b))
+        thread_b.start()
+        thread_a.join()
+        thread_b.join()
+        with service.client() as probe:
+            stats = probe.stats()
+
+    (result_a, accepted_a) = results["a"]
+    (result_b, accepted_b) = results["b"]
+    # One compute, both subscribers got the same terminal payload.
+    assert stats["jobs_accepted"] == 1
+    assert accepted_a["job_id"] == accepted_b["job_id"]
+    assert [accepted_a["deduped"], accepted_b["deduped"]].count(True) == 1
+    assert result_a["payload"] == result_b["payload"]
+    assert {result_a["status"], result_b["status"]} == {"computed"}
+
+
+def test_bad_requests_yield_error_events(service):
+    with service.client() as client:
+        with pytest.raises(ServiceError, match="unknown job kind"):
+            client.submit({"kind": "bogus"})
+        with pytest.raises(ServiceError, match="missing 'pairs'"):
+            client.submit({"kind": "campaign", "module_id": MODULE_ID,
+                           "configs": [], "n_measurements": 1})
+        with pytest.raises(ServiceError, match="unknown op"):
+            client.submit({"op": "frobnicate"})
+        # A config missing required fields surfaces the wrapped
+        # MeasurementError as an error event, not a dropped connection.
+        with pytest.raises(ServiceError, match="bad test configuration"):
+            client.submit({
+                "kind": "campaign", "module_id": MODULE_ID, "seed": SEED,
+                "pairs": [list(pair) for pair in PAIRS],
+                "configs": [{"pattern": "checkered0", "t_agg_on_ns": 35.0}],
+                "n_measurements": N,
+            })
+        # The connection survives error events: a good request still works.
+        assert client.ping()
+
+
+def test_ping_and_stats(service):
+    with service.client() as client:
+        assert client.ping()
+        client.submit(_campaign_request())
+        stats = client.stats()
+    assert stats["jobs_accepted"] == 1
+    assert stats["inflight"] == 0
+    assert stats["n_jobs"] == 2
+    assert stats["store"]["entries"] == 1

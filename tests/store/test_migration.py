@@ -1,0 +1,168 @@
+"""Legacy ``.vrd-cache/`` file entries migrate into the sqlite store.
+
+The three legacy layouts (``<key>.json`` campaign, ``<key>.json``
+adaptive, ``fig14-<key>.json`` sweep) must classify correctly, import in
+one batch, never clobber newer store entries, and — the transparent
+path — appear in a store the first time one is created (or read) next
+to them.
+"""
+
+import json
+
+import pytest
+
+from repro.core import CHECKERED0, TestConfig
+from repro.core.engine import CampaignCache, CampaignEngine
+from repro.store import (
+    DEFAULT_STORE_FILENAME,
+    KIND_ADAPTIVE,
+    KIND_CAMPAIGN,
+    KIND_SWEEP,
+    ResultStore,
+)
+from repro.store.legacy import (
+    FileCampaignCache,
+    FileSweepCache,
+    classify_legacy_payload,
+    import_legacy_entries,
+    iter_legacy_entries,
+)
+
+MODULE_ID = "M1"
+SEED = 77
+ROWS = [3, 9]
+N = 10
+
+
+def _configs():
+    return [TestConfig(CHECKERED0, t_agg_on_ns=35.0)]
+
+
+@pytest.fixture()
+def legacy_root(tmp_path):
+    """A legacy cache directory holding one entry of each kind."""
+    from repro.core import AdaptiveConfig
+    from repro.memsim.sweep import SweepSpec, run_sweep
+
+    root = tmp_path / "legacy"
+    campaign_cache = FileCampaignCache(root)
+    sweep_cache = FileSweepCache(root)
+    configs = _configs()
+
+    campaign = CampaignEngine(
+        MODULE_ID, configs, n_measurements=N, seed=SEED, n_jobs=1,
+    ).run_pairs([(0, row) for row in ROWS])
+    keyer = CampaignCache.resolve(".")
+    campaign_key = keyer.key(
+        seed=SEED, module_id=MODULE_ID, configs=configs,
+        n_measurements=N, pairs=[(0, row) for row in ROWS],
+    )
+    campaign_cache.store(campaign_key, campaign)
+
+    adaptive_config = AdaptiveConfig(max_measurements=N)
+    adaptive = CampaignEngine(
+        MODULE_ID, configs, n_measurements=N, seed=SEED, n_jobs=1,
+        schedule="adaptive", adaptive=adaptive_config,
+    ).run_pairs([(0, row) for row in ROWS])
+    adaptive_key = keyer.key(
+        seed=SEED, module_id=MODULE_ID, configs=configs,
+        n_measurements=N, pairs=[(0, row) for row in ROWS],
+        schedule="adaptive", adaptive=adaptive_config,
+    )
+    campaign_cache.store_adaptive(adaptive_key, adaptive)
+
+    from repro.memsim.sweep import SweepCache
+
+    spec = SweepSpec(
+        mitigations=("PARA",), rdts=(1024.0,), margins=(0.0,),
+        n_mixes=1, window_ns=2_000.0, n_rows=1 << 8,
+    )
+    sweep = run_sweep(spec)
+    sweep_key = SweepCache(root / "unused").key(spec)
+    sweep_cache.store(sweep_key, sweep)
+
+    # Distractors the migration must skip.
+    (root / "notes.json").write_text('{"unrelated": true}')
+    (root / "broken.json").write_text("{not json")
+
+    return root, {
+        KIND_CAMPAIGN: campaign_key,
+        KIND_ADAPTIVE: adaptive_key,
+        KIND_SWEEP: sweep_key,
+    }
+
+
+def test_classify_legacy_payload():
+    assert classify_legacy_payload(
+        "abc", {"format_version": 1, "observations": []}
+    ) == KIND_CAMPAIGN
+    assert classify_legacy_payload(
+        "abc", {"kind": "adaptive-campaign"}
+    ) == KIND_ADAPTIVE
+    assert classify_legacy_payload(
+        "fig14-abc", {"kind": "fig14-sweep"}
+    ) == KIND_SWEEP
+    assert classify_legacy_payload("fig14-abc", {"kind": "other"}) is None
+    assert classify_legacy_payload("abc", {"unrelated": True}) is None
+    assert classify_legacy_payload("abc", ["not", "an", "object"]) is None
+
+
+def test_iter_legacy_entries_classifies_and_strips_prefix(legacy_root):
+    root, keys = legacy_root
+    entries = {kind: key for key, kind, _ in iter_legacy_entries(root)}
+    assert entries == {kind: key for kind, key in keys.items()}
+
+
+def test_import_is_batched_and_idempotent(legacy_root, tmp_path):
+    root, keys = legacy_root
+    store = ResultStore(tmp_path / "db.sqlite", auto_migrate=False)
+    assert import_legacy_entries(store, root) == 3
+    assert store.entry_count() == 3
+    for kind, key in keys.items():
+        assert store.get(key, kind) is not None
+    # Second import adds nothing (INSERT OR IGNORE semantics).
+    assert import_legacy_entries(store, root) == 0
+    assert store.entry_count() == 3
+    # Legacy files stay in place: the import is additive.
+    assert sorted(p.name for p in root.glob("*.json"))  # non-empty
+
+
+def test_import_never_clobbers_store_entries(legacy_root, tmp_path):
+    root, keys = legacy_root
+    store = ResultStore(tmp_path / "db.sqlite", auto_migrate=False)
+    marker = {"authority": "store"}
+    store.put(keys[KIND_CAMPAIGN], KIND_CAMPAIGN, marker)
+    import_legacy_entries(store, root)
+    assert store.get(keys[KIND_CAMPAIGN], KIND_CAMPAIGN) == marker
+
+
+def test_first_creation_auto_imports(legacy_root):
+    root, keys = legacy_root
+    store = ResultStore(root / DEFAULT_STORE_FILENAME)
+    # A write triggers creation, which imports the neighbors.
+    store.put("fresh", KIND_CAMPAIGN, {"fresh": True})
+    assert store.entry_count() == 4
+    for kind, key in keys.items():
+        assert store.get(key, kind) is not None
+
+
+def test_first_read_auto_imports_for_cache_hit(legacy_root):
+    """The transparent path: a CampaignCache over a legacy directory
+    serves the legacy entry as a hit on the very first load."""
+    root, keys = legacy_root
+    cache = CampaignCache(root)
+    reloaded = cache.load(keys[KIND_CAMPAIGN])
+    assert reloaded is not None
+    assert len(reloaded.observations) > 0
+    assert (root / DEFAULT_STORE_FILENAME).exists()
+
+
+def test_legacy_payloads_reload_identically(legacy_root):
+    """A migrated entry decodes to the same payload the legacy file held
+    (byte-for-byte at the JSON level)."""
+    root, keys = legacy_root
+    store = ResultStore(root / DEFAULT_STORE_FILENAME)
+    legacy_payload = json.loads(
+        (root / f"{keys[KIND_CAMPAIGN]}.json").read_text()
+    )
+    assert store.get(keys[KIND_CAMPAIGN], KIND_CAMPAIGN) == legacy_payload
