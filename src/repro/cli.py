@@ -9,9 +9,12 @@ Small, scriptable entry points onto the library's main experiments:
 * ``testtime`` — Appendix A testing-cost headline scenarios;
 * ``attack`` — profile-and-attack security check for one mitigation;
 * ``fig14`` — mitigation-overhead sweep (cached, sharded, fast core);
+* ``fleet`` — stream a catalog-sampled fleet (constant-memory online
+  aggregation) and print guardband/ECC tables;
 * ``serve`` — concurrent campaign service over the shared result store;
 * ``submit`` — send one job to a running service and stream its events;
-* ``store`` — result-store maintenance (``migrate``, ``stats``);
+* ``store`` — result-store maintenance (``migrate``, ``stats``,
+  ``prune``);
 * ``report`` — instrumented smoke workload + observability run report;
 * ``bench`` — aggregate every ``BENCH_*.json`` into one perf trajectory.
 
@@ -210,6 +213,66 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_flags(fig14)
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="stream a catalog-sampled module fleet and print fleet-level "
+             "guardband failure and ECC escape tables",
+    )
+    fleet.add_argument(
+        "-m", "--modules", type=int, default=1000,
+        help="fleet size (default 1000)",
+    )
+    fleet.add_argument("--seed", type=int, default=None)
+    fleet.add_argument(
+        "--rows", type=int, default=6,
+        help="sampled rows per module (default 6)",
+    )
+    fleet.add_argument(
+        "-n", "--measurements", type=int, default=48,
+        help="RDT measurements per row (default 48)",
+    )
+    fleet.add_argument(
+        "--margin", type=float, default=0.30,
+        help="deployed guardband margin (default 0.30)",
+    )
+    fleet.add_argument(
+        "--shard-size", type=int, default=256,
+        help="modules per checkpoint shard (default 256; part of the "
+             "recipe — resumes only reuse checkpoints of the same layout)",
+    )
+    fleet.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="worker processes (default: $VRD_JOBS, else 1); results are "
+             "bit-identical for any job count",
+    )
+    fleet.add_argument(
+        "--store", default=None, metavar="FILE",
+        help="checkpoint store (default: $VRD_STORE_PATH, else "
+             "$VRD_CACHE_DIR/results.sqlite, else .vrd-cache/results.sqlite)",
+    )
+    fleet.add_argument(
+        "--no-checkpoint", action="store_true",
+        help="run without writing or reading shard checkpoints",
+    )
+    fleet.add_argument(
+        "--fail-after-shards", type=int, default=None, metavar="K",
+        help="testing hook: abort (exit 3) after K freshly computed "
+             "shards have been checkpointed, simulating a killed run",
+    )
+    fleet.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-shard progress lines on stderr",
+    )
+    fleet.add_argument(
+        "--json", action="store_true",
+        help="print the fleet summary as JSON instead of tables",
+    )
+    fleet.add_argument(
+        "-o", "--output", default=None,
+        help="also save the JSON fleet summary to this file",
+    )
+    _add_trace_flags(fleet)
+
     serve = sub.add_parser(
         "serve",
         help="run the concurrent campaign service over the shared result "
@@ -267,6 +330,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "stats", help="entry counts and payload bytes per result kind"
     )
     store_stats.add_argument("--store", default=None, metavar="FILE")
+    prune = store_sub.add_parser(
+        "prune",
+        help="delete stored entries by kind and/or age (e.g. stale fleet "
+             "shard checkpoints)",
+    )
+    prune.add_argument(
+        "--kind", default=None,
+        choices=["campaign", "adaptive", "sweep", "fleet"],
+        help="only this result kind (default: every kind)",
+    )
+    prune.add_argument(
+        "--older-than", type=float, default=None, metavar="DAYS",
+        help="only entries written more than DAYS days ago",
+    )
+    prune.add_argument("--store", default=None, metavar="FILE")
 
     sub.add_parser(
         "verify",
@@ -656,6 +734,94 @@ def _cmd_fig14(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.analysis.tables import format_table
+    from repro.fleet import FleetInterrupted, FleetSpec, run_fleet
+    from repro.rng import DEFAULT_SEED
+
+    spec = FleetSpec(
+        n_modules=args.modules,
+        seed=args.seed if args.seed is not None else DEFAULT_SEED,
+        rows_per_module=args.rows,
+        n_measurements=args.measurements,
+        guardband_margin=args.margin,
+        shard_size=args.shard_size,
+    )
+
+    def progress(event: dict) -> None:
+        if not args.quiet:
+            start, stop = event["shard"]
+            print(
+                f"fleet shard {start}-{stop} {event['source']} "
+                f"({event['modules']} modules, {event['shards']} shards "
+                f"total)",
+                file=sys.stderr,
+            )
+
+    try:
+        result = run_fleet(
+            spec,
+            n_jobs=args.jobs,
+            store=args.store,
+            checkpoint=not args.no_checkpoint,
+            fail_after_shards=args.fail_after_shards,
+            progress=progress,
+        )
+    except FleetInterrupted as error:
+        print(f"fleet: {error}", file=sys.stderr)
+        return 3
+
+    summary = result.summary
+    payload = result.to_payload()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json_module.dump(payload, handle, sort_keys=True)
+        print(f"fleet summary saved to {args.output}", file=sys.stderr)
+    if args.json:
+        print(json_module.dumps(payload, sort_keys=True))
+        return 0
+
+    print(format_table(
+        ["margin", "fleet failure probability"],
+        [(f"{margin:.0%}", rate)
+         for margin, rate in sorted(result.margins.items())],
+        title=f"fleet guardband failure ({spec.n_modules} modules, "
+              f"{result.resumed_shards}/{result.n_shards} shards resumed)",
+    ))
+    dip = summary["worst_dip"]
+    ecc = summary["ecc_escape"]
+    overhead = summary["mitigation_overhead"]
+    print(format_table(
+        ["metric", "mean", "p99", "p999", "max"],
+        [
+            ("worst revisit dip", dip["mean"], dip["p99"], dip["p999"],
+             dip["max"]),
+            ("mitigation overhead", overhead["mean"], overhead["p99"],
+             overhead["p999"], overhead["max"]),
+        ],
+        title="fleet distributions",
+    ))
+    print(format_table(
+        ["region", "modules", "failures", "rate"],
+        [
+            (name, group["modules"], group["guardband_failures"],
+             group["failure_rate"])
+            for name, group in summary["regions"].items()
+        ],
+        title="per-region guardband failures "
+              f"(deployed margin {spec.guardband_margin:.0%})",
+    ))
+    print(
+        f"ECC undetectable escape: mean {ecc['mean']:.3e}, max "
+        f"{ecc['max']:.3e} | min RDT {summary['min_rdt']['min']:,.0f} | "
+        f"{summary['flip_events']} sub-guardband flip events | "
+        f"{result.elapsed_s:.2f} s"
+    )
+    return 0
+
+
 def _resolve_store(path):
     from repro.errors import ConfigurationError
     from repro.store import ResultStore
@@ -754,6 +920,23 @@ def _cmd_store(args: argparse.Namespace) -> int:
             title=f"result store {stats['path']} "
                   f"({stats['payload_bytes']:,} payload bytes)",
         ))
+        return 0
+    if args.store_command == "prune":
+        if args.kind is None and args.older_than is None:
+            print(
+                "store prune: refusing to delete every entry; pass --kind "
+                "and/or --older-than to select what to prune",
+                file=sys.stderr,
+            )
+            return 1
+        older_than_s = (
+            args.older_than * 86400.0 if args.older_than is not None else None
+        )
+        pruned = store.prune(kind=args.kind, older_than_s=older_than_s)
+        stats = store.stats()
+        scope = args.kind if args.kind else "all kinds"
+        print(f"pruned {pruned} {scope} entries; store now holds "
+              f"{stats['entries']} entries")
         return 0
     raise AssertionError(
         f"unhandled store command {args.store_command}"
@@ -926,6 +1109,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_analyze(args)
     if args.command == "fig14":
         return _cmd_fig14(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "submit":

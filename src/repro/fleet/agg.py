@@ -1,0 +1,345 @@
+"""Exactly mergeable online aggregators for fleet-scale streaming.
+
+The fleet runner never materializes per-module results: each worker folds
+its shard's modules into one of these aggregator states and ships only
+the state. For that to be an *optimization* rather than an approximation,
+every aggregate must come out bit-identical no matter how the population
+is sharded or which worker folds which shard. Floating-point addition is
+not associative, so sums are carried as :class:`fractions.Fraction`
+(every ``float`` converts to a dyadic rational *exactly*); rational
+addition is exactly associative and commutative, and the single
+``float(...)`` conversion at :meth:`finalize` time is correctly rounded.
+Counts are integers and min/max are lattice operations, so the remaining
+state merges exactly by construction.
+
+The merge laws every aggregator in this module satisfies (and
+``tests/fleet/test_agg.py`` checks over randomized seeds):
+
+* **associativity** — ``(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)``;
+* **commutativity** — ``a ⊕ b == b ⊕ a`` (shard-order invariance);
+* **identity** — ``a ⊕ empty == a``;
+* **singleton consistency** — ``a.update(x)`` equals merging ``a`` with
+  a fresh aggregator holding only ``x``.
+
+Histograms reuse the :mod:`repro.obs` log2 bucket idiom
+(:func:`repro.obs.recorder.bucket_index`); the quantile sketch refines it
+to ``RESOLUTION`` sub-buckets per octave so p99/p999 guardband margins
+resolve to ~2% relative error while staying a counts-add merge.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.recorder import N_BUCKETS, bucket_index, bucket_upper_bound
+
+__all__ = [
+    "Moments",
+    "MinMax",
+    "Tally",
+    "Log2Histogram",
+    "QuantileSketch",
+    "RESOLUTION",
+]
+
+
+def _fraction_to_payload(value: Fraction) -> str:
+    return f"{value.numerator}/{value.denominator}"
+
+
+def _fraction_from_payload(raw: str) -> Fraction:
+    numerator, _, denominator = str(raw).partition("/")
+    return Fraction(int(numerator), int(denominator or "1"))
+
+
+class Moments:
+    """Streaming count/mean/variance with an exactly associative merge.
+
+    State is ``(count, Σx, Σx²)`` with the sums as exact rationals, so
+    any grouping of updates and merges lands on the same state and the
+    finalized floats are bit-identical.
+    """
+
+    __slots__ = ("count", "total", "total_sq")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = Fraction(0)
+        self.total_sq = Fraction(0)
+
+    def update(self, value: float) -> None:
+        exact = Fraction(value)
+        self.count += 1
+        self.total += exact
+        self.total_sq += exact * exact
+
+    def merge(self, other: "Moments") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.total_sq += other.total_sq
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            return math.nan
+        return float(self.total / self.count)
+
+    @property
+    def variance(self) -> float:
+        """Population variance, computed exactly before one rounding."""
+        if self.count == 0:
+            return math.nan
+        mean = self.total / self.count
+        return float(self.total_sq / self.count - mean * mean)
+
+    @property
+    def std(self) -> float:
+        if self.count == 0:
+            return math.nan
+        return math.sqrt(max(0.0, self.variance))
+
+    def finalize(self) -> Dict[str, float]:
+        return {"count": self.count, "mean": self.mean, "std": self.std}
+
+    def to_payload(self) -> dict:
+        return {
+            "count": self.count,
+            "total": _fraction_to_payload(self.total),
+            "total_sq": _fraction_to_payload(self.total_sq),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Moments":
+        moments = cls()
+        moments.count = int(payload["count"])
+        moments.total = _fraction_from_payload(payload["total"])
+        moments.total_sq = _fraction_from_payload(payload["total_sq"])
+        return moments
+
+
+class MinMax:
+    """Running minimum/maximum (a lattice: merge is exact by nature)."""
+
+    __slots__ = ("minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def update(self, value: float) -> None:
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def merge(self, other: "MinMax") -> None:
+        if other.minimum is not None:
+            self.update(other.minimum)
+        if other.maximum is not None:
+            self.update(other.maximum)
+
+    def finalize(self) -> Dict[str, Optional[float]]:
+        return {"min": self.minimum, "max": self.maximum}
+
+    def to_payload(self) -> dict:
+        return {"min": self.minimum, "max": self.maximum}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "MinMax":
+        minmax = cls()
+        minmax.minimum = payload["min"]
+        minmax.maximum = payload["max"]
+        return minmax
+
+
+class Tally:
+    """An integer counter (flip events, failures, modules seen)."""
+
+    __slots__ = ("count",)
+
+    def __init__(self, count: int = 0) -> None:
+        self.count = int(count)
+
+    def update(self, amount: int = 1) -> None:
+        self.count += int(amount)
+
+    def merge(self, other: "Tally") -> None:
+        self.count += other.count
+
+    def finalize(self) -> int:
+        return self.count
+
+    def to_payload(self) -> int:
+        return self.count
+
+    @classmethod
+    def from_payload(cls, payload: int) -> "Tally":
+        return cls(int(payload))
+
+
+class Log2Histogram:
+    """Power-of-two bucket histogram over the :mod:`repro.obs` bucket map.
+
+    Unlike the observability histogram (whose float ``total`` is a
+    diagnostic and merges in completion order), this one keeps *only*
+    integer bucket counts, so its merge is exact.
+    """
+
+    __slots__ = ("buckets",)
+
+    def __init__(self) -> None:
+        self.buckets: Dict[int, int] = {}
+
+    @property
+    def count(self) -> int:
+        return sum(self.buckets.values())
+
+    def update(self, value: float) -> None:
+        index = bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def merge(self, other: "Log2Histogram") -> None:
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+
+    def finalize(self) -> Dict[str, int]:
+        """Bucket counts keyed by their upper bound, for tables."""
+        return {
+            ("inf" if index >= N_BUCKETS - 1
+             else f"{bucket_upper_bound(index):g}"): count
+            for index, count in sorted(self.buckets.items())
+        }
+
+    def to_payload(self) -> dict:
+        return {str(index): count
+                for index, count in sorted(self.buckets.items())}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Log2Histogram":
+        histogram = cls()
+        histogram.buckets = {
+            int(index): int(count) for index, count in payload.items()
+        }
+        return histogram
+
+
+#: Sub-buckets per octave in the quantile sketch: relative quantile error
+#: is bounded by ``2**(1/RESOLUTION) - 1`` (~2.2% at 32).
+RESOLUTION = 32
+
+#: Values at or below this floor land in the dedicated zero bucket (the
+#: sketch holds non-negative metrics; margins of exactly 0 are common).
+_ZERO_FLOOR = 2.0 ** -64
+
+
+class QuantileSketch:
+    """Deterministic log-bucket quantile sketch (p50/p99/p999).
+
+    A value ``v`` lands in bucket ``floor(log2(v) * RESOLUTION)``; the
+    quantile query walks buckets in index order and reports the covering
+    bucket's *upper* bound — conservative for guardband sizing. State is
+    integer counts, so the merge is counts-add and exactly associative;
+    the bucket map is a pure function of the value, so shard order and
+    worker count cannot move a sample between buckets.
+    """
+
+    __slots__ = ("zeros", "buckets")
+
+    def __init__(self) -> None:
+        self.zeros = 0
+        self.buckets: Dict[int, int] = {}
+
+    @property
+    def count(self) -> int:
+        return self.zeros + sum(self.buckets.values())
+
+    def update(self, value: float) -> None:
+        if not value >= 0.0:  # rejects negatives and NaN alike
+            raise ConfigurationError(
+                f"quantile sketch values must be >= 0, got {value!r}"
+            )
+        if value <= _ZERO_FLOOR:
+            self.zeros += 1
+            return
+        index = math.floor(math.log2(value) * RESOLUTION)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def merge(self, other: "QuantileSketch") -> None:
+        self.zeros += other.zeros
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+
+    @staticmethod
+    def bucket_upper(index: int) -> float:
+        return 2.0 ** ((index + 1) / RESOLUTION)
+
+    def quantile(self, q: float) -> float:
+        """The value at quantile ``q`` (upper bucket bound), or NaN when
+        empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        total = self.count
+        if total == 0:
+            return math.nan
+        rank = max(1, math.ceil(q * total))
+        if rank <= self.zeros:
+            return 0.0
+        cumulative = self.zeros
+        last_index = 0
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            last_index = index
+            if cumulative >= rank:
+                return self.bucket_upper(index)
+        return self.bucket_upper(last_index)  # pragma: no cover — rank<=total
+
+    def tail_fraction(self, threshold: float) -> float:
+        """Exact fraction of samples whose *bucket* exceeds ``threshold``.
+
+        Conservative for failure probabilities: a bucket straddling the
+        threshold counts as above it. NaN when empty.
+        """
+        total = self.count
+        if total == 0:
+            return math.nan
+        if threshold < 0.0:
+            return 1.0
+        above = sum(
+            count for index, count in self.buckets.items()
+            if self.bucket_upper(index) > threshold
+        )
+        return above / total
+
+    def finalize(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
+        }
+
+    def to_payload(self) -> dict:
+        return {
+            "resolution": RESOLUTION,
+            "zeros": self.zeros,
+            "buckets": {str(index): count
+                        for index, count in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "QuantileSketch":
+        if int(payload.get("resolution", RESOLUTION)) != RESOLUTION:
+            raise ConfigurationError(
+                "quantile sketch resolution mismatch: stored "
+                f"{payload.get('resolution')!r}, runtime {RESOLUTION}"
+            )
+        sketch = cls()
+        sketch.zeros = int(payload["zeros"])
+        sketch.buckets = {
+            int(index): int(count)
+            for index, count in payload["buckets"].items()
+        }
+        return sketch

@@ -1,0 +1,189 @@
+"""Deterministic lazy population sampling for fleet simulations.
+
+A fleet is ``n_modules`` simulated DIMMs drawn from the tested-device
+catalog (paper Table 1) and placed into a deployment context: a region on
+a diurnal temperature cycle and a workload mix setting its hammer
+exposure. The population is *never materialized*: module ``i``'s full
+assignment is a pure function of ``(spec, i)`` via a dedicated
+:func:`repro.rng.derive` stream, so any worker can reconstruct any slice
+of the fleet from the spec alone and memory stays O(1) in the fleet size.
+
+Module seeds are derived per index, so a 10k-module fleet contains 10k
+*distinct* chips even when catalog entries repeat — matching how the
+spatial-variation literature treats a deployment as i.i.d. draws from a
+per-part-number distribution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.chips.catalog import ALL_SPECS
+from repro.errors import ConfigurationError
+from repro.rng import DEFAULT_SEED, child_seed, derive
+
+__all__ = [
+    "REGIONS",
+    "WORKLOADS",
+    "FleetSpec",
+    "ModuleAssignment",
+    "assignment",
+    "iter_assignments",
+]
+
+#: Catalog devices a fleet samples from (all compact builds share the
+#: 4-bank x 4096-row geometry, so row sampling is device-independent).
+CATALOG_IDS: Tuple[str, ...] = tuple(s.module_id for s in ALL_SPECS)
+
+#: Rows per bank in the compact catalog geometry.
+_COMPACT_ROWS = 1 << 12
+
+#: Deployment regions: (name, base temperature C, diurnal amplitude C).
+#: The cycle is sinusoidal over 24 h; a module's phase is where in the
+#: day its sampled workload window falls.
+REGIONS: Tuple[Tuple[str, float, float], ...] = (
+    ("nordic", 32.0, 6.0),
+    ("temperate", 45.0, 10.0),
+    ("tropical", 58.0, 8.0),
+    ("desert", 66.0, 14.0),
+)
+
+#: Workload mixes: (name, mean aggressor activations per refresh window).
+#: The rate scales hammer exposure between refreshes — the lever behind
+#: fleet-level ECC escape and mitigation overhead spreads.
+WORKLOADS: Tuple[Tuple[str, float], ...] = (
+    ("idle", 2_000.0),
+    ("streaming", 12_000.0),
+    ("analytics", 30_000.0),
+    ("adversarial", 90_000.0),
+)
+
+#: Log-normal sigma of per-module activation-rate jitter within a mix.
+_RATE_SIGMA = 0.25
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """One fleet study, fully determined by its fields.
+
+    ``shard_size`` fixes the checkpoint layout (contiguous index ranges),
+    so it is part of the recipe: resuming a run only reuses checkpoints
+    written under the same spec.
+    """
+
+    n_modules: int
+    seed: int = DEFAULT_SEED
+    rows_per_module: int = 6
+    n_measurements: int = 48
+    pattern: str = "checkered0"
+    guardband_margin: float = 0.30
+    shard_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.n_modules < 1:
+            raise ConfigurationError(
+                f"fleet needs >= 1 module, got {self.n_modules}"
+            )
+        if not 1 <= self.rows_per_module <= _COMPACT_ROWS:
+            raise ConfigurationError(
+                f"rows_per_module must be in [1, {_COMPACT_ROWS}], got "
+                f"{self.rows_per_module}"
+            )
+        if self.n_measurements < 2:
+            raise ConfigurationError(
+                "fleet needs >= 2 measurements per row (one baseline plus "
+                f"at least one revisit), got {self.n_measurements}"
+            )
+        if not 0.0 < self.guardband_margin < 1.0:
+            raise ConfigurationError(
+                f"guardband margin must be in (0, 1), got "
+                f"{self.guardband_margin}"
+            )
+        if self.shard_size < 1:
+            raise ConfigurationError(
+                f"shard size must be >= 1, got {self.shard_size}"
+            )
+
+    def to_payload(self) -> dict:
+        return {
+            "n_modules": self.n_modules,
+            "seed": self.seed,
+            "rows_per_module": self.rows_per_module,
+            "n_measurements": self.n_measurements,
+            "pattern": self.pattern,
+            "guardband_margin": self.guardband_margin,
+            "shard_size": self.shard_size,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FleetSpec":
+        return cls(**{key: payload[key] for key in (
+            "n_modules", "seed", "rows_per_module", "n_measurements",
+            "pattern", "guardband_margin", "shard_size",
+        )})
+
+    def digest(self) -> str:
+        """Content key of this fleet recipe (checkpoint key prefix)."""
+        blob = json.dumps(
+            self.to_payload(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+
+@dataclass(frozen=True)
+class ModuleAssignment:
+    """Everything needed to simulate fleet member ``index``."""
+
+    index: int
+    device: str
+    module_seed: int
+    region: str
+    hour: float
+    temperature_c: float
+    workload: str
+    activations_per_window: float
+    rows: Tuple[int, ...]
+
+
+def assignment(spec: FleetSpec, index: int) -> ModuleAssignment:
+    """Fleet member ``index``'s assignment — pure in ``(spec, index)``."""
+    if not 0 <= index < spec.n_modules:
+        raise ConfigurationError(
+            f"module index {index} outside fleet of {spec.n_modules}"
+        )
+    rng = derive(spec.seed, "fleet", "assign", index)
+    device = CATALOG_IDS[int(rng.integers(len(CATALOG_IDS)))]
+    region, base_temp, amplitude = REGIONS[int(rng.integers(len(REGIONS)))]
+    hour = float(rng.uniform(0.0, 24.0))
+    temperature = base_temp + amplitude * math.sin(2.0 * math.pi * hour / 24.0)
+    workload, base_rate = WORKLOADS[int(rng.integers(len(WORKLOADS)))]
+    rate = base_rate * math.exp(float(rng.normal(0.0, _RATE_SIGMA)))
+    rows = tuple(sorted(
+        int(row) for row in rng.choice(
+            _COMPACT_ROWS, size=spec.rows_per_module, replace=False
+        )
+    ))
+    return ModuleAssignment(
+        index=index,
+        device=device,
+        module_seed=child_seed(spec.seed, "fleet", "module", index),
+        region=region,
+        hour=hour,
+        temperature_c=temperature,
+        workload=workload,
+        activations_per_window=rate,
+        rows=rows,
+    )
+
+
+def iter_assignments(
+    spec: FleetSpec, start: int = 0, stop: Optional[int] = None
+) -> Iterator[ModuleAssignment]:
+    """Lazily yield assignments ``start <= index < stop`` (never a list)."""
+    stop = spec.n_modules if stop is None else min(stop, spec.n_modules)
+    for index in range(start, stop):
+        yield assignment(spec, index)

@@ -23,15 +23,24 @@ Requests arrive as JSON lines over a local TCP socket; each becomes a
 
 Metrics go to the ambient :mod:`repro.obs` recorder: ``service.jobs``,
 ``service.deduped``, ``service.store_hits``, ``service.computed``,
-``service.errors`` counters, the ``service.queue_depth`` gauge, and the
-``service.job_ms`` histogram (p50/p99 job latency in
-``python -m repro report``).
+``service.errors``, ``service.events_dropped`` counters, the
+``service.queue_depth`` gauge, and the ``service.job_ms`` histogram
+(p50/p99 job latency in ``python -m repro report``).
+
+Event fan-out is bounded: each job keeps at most
+:data:`DEFAULT_EVENT_BUFFER_HIGH_WATER` buffered progress lines (tunable
+via ``$VRD_SERVICE_EVENT_BUFFER``), and each subscriber queue is capped
+at the same high-water mark, so a slow or stalled ``submit`` client can
+lose old *progress* events (counted in ``service.events_dropped``) but
+can never grow server memory without bound — and the terminal
+result/error line is always retained and always delivered.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -60,6 +69,32 @@ from repro.store.db import (
 #: Default bind host — the service is local-only by design.
 DEFAULT_HOST = "127.0.0.1"
 
+#: Environment override for the per-job event buffer high-water mark.
+EVENT_BUFFER_ENV_VAR = "VRD_SERVICE_EVENT_BUFFER"
+
+#: Per-job bound on buffered and queued event lines. Progress events
+#: beyond this are dropped oldest-first; terminal events never are.
+DEFAULT_EVENT_BUFFER_HIGH_WATER = 256
+
+
+def event_buffer_high_water() -> int:
+    """The configured high-water mark (``$VRD_SERVICE_EVENT_BUFFER``)."""
+    raw = os.environ.get(EVENT_BUFFER_ENV_VAR)
+    if not raw:
+        return DEFAULT_EVENT_BUFFER_HIGH_WATER
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{EVENT_BUFFER_ENV_VAR} must be an integer, got {raw!r}"
+        ) from None
+    if value < 2:
+        raise ConfigurationError(
+            f"{EVENT_BUFFER_ENV_VAR} must be >= 2 (room for a progress "
+            f"line and the terminal line), got {value}"
+        )
+    return value
+
 
 def _encode_event(event: dict, raw_payload: Optional[bytes] = None) -> bytes:
     """One wire line for ``event``, encoded exactly once per job.
@@ -83,17 +118,47 @@ class Job:
 
     Events are encoded to wire lines once, at publish time; subscribers
     (including deduplicated requests attaching late, which replay the
-    full buffer) receive ready-to-send bytes — N subscribers cost N
-    socket writes, not N JSON serializations. ``None`` on a subscriber
-    queue marks end-of-stream.
+    buffer) receive ready-to-send bytes — N subscribers cost N socket
+    writes, not N JSON serializations. ``None`` on a subscriber queue
+    marks end-of-stream.
+
+    Both the replay buffer and every subscriber queue are capped at
+    ``high_water`` lines. When a cap is hit the *oldest* line is
+    discarded (and ``service.events_dropped`` incremented); because the
+    terminal result/error line is always the newest, it is never the
+    one evicted, so every subscriber — however slow — still receives
+    the job's outcome and the end-of-stream marker.
     """
 
-    def __init__(self, job_id: int, spec: JobSpec):
+    def __init__(
+        self, job_id: int, spec: JobSpec, high_water: Optional[int] = None
+    ):
         self.id = job_id
         self.spec = spec
+        self.high_water = (
+            high_water if high_water is not None else event_buffer_high_water()
+        )
         self.events: List[bytes] = []
+        self.events_dropped = 0
         self.done = False
         self._subscribers: List[asyncio.Queue] = []
+
+    def _drop(self) -> None:
+        self.events_dropped += 1
+        obs.active().counter_add("service.events_dropped")
+
+    def _offer(self, queue: asyncio.Queue, item: Optional[bytes]) -> None:
+        """Enqueue ``item``, evicting the queue's oldest line if full."""
+        while True:
+            try:
+                queue.put_nowait(item)
+                return
+            except asyncio.QueueFull:
+                try:
+                    queue.get_nowait()
+                except asyncio.QueueEmpty:  # pragma: no cover — races only
+                    continue
+                self._drop()
 
     def publish(
         self,
@@ -103,19 +168,27 @@ class Job:
         raw_payload: Optional[bytes] = None,
     ) -> None:
         line = _encode_event(event, raw_payload)
+        if len(self.events) >= self.high_water:
+            self.events.pop(0)
+            self._drop()
         self.events.append(line)
         for queue in self._subscribers:
-            queue.put_nowait(line)
+            self._offer(queue, line)
         if terminal:
             self.done = True
             for queue in self._subscribers:
-                queue.put_nowait(None)
+                self._offer(queue, None)
             self._subscribers.clear()
 
     def subscribe(self) -> "asyncio.Queue[Optional[bytes]]":
-        """A queue pre-loaded with every buffered event line (plus the
-        end-of-stream marker if the job already finished)."""
-        queue: asyncio.Queue = asyncio.Queue()
+        """A queue pre-loaded with the buffered event lines (plus the
+        end-of-stream marker if the job already finished).
+
+        Queue capacity is ``high_water + 1``: the replay buffer holds at
+        most ``high_water`` lines, and the extra slot guarantees the
+        end-of-stream marker never evicts a replayed line.
+        """
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self.high_water + 1)
         for event in self.events:
             queue.put_nowait(event)
         if self.done:

@@ -4,8 +4,9 @@ One sqlite database (WAL mode, pragma-tuned, busy-timeout retried) holds
 every cached result the reproduction produces, content-addressed by the
 same format-2 recipe keys the old one-file-per-entry ``.vrd-cache/``
 directories used, with a ``kind`` column discriminating campaign,
-adaptive, and sweep payloads. Many worker processes and many clients
-share the database concurrently without aliasing or corruption:
+adaptive, sweep, and fleet-checkpoint payloads. Many worker processes
+and many clients share the database concurrently without aliasing or
+corruption:
 
 * :class:`~repro.store.db.ResultStore` — the store itself: checksummed
   payloads, batched multi-row writes inside one transaction, corrupt
@@ -32,6 +33,7 @@ from repro.store.db import (  # noqa: F401
     DEFAULT_STORE_FILENAME,
     KIND_ADAPTIVE,
     KIND_CAMPAIGN,
+    KIND_FLEET,
     KIND_SWEEP,
     KINDS,
     STORE_PATH_ENV_VAR,
@@ -45,6 +47,7 @@ __all__ = [
     "DEFAULT_STORE_FILENAME",
     "KIND_ADAPTIVE",
     "KIND_CAMPAIGN",
+    "KIND_FLEET",
     "KIND_SWEEP",
     "KINDS",
     "STORE_PATH_ENV_VAR",

@@ -60,7 +60,8 @@ DEFAULT_STORE_FILENAME = "results.sqlite"
 KIND_CAMPAIGN = "campaign"
 KIND_ADAPTIVE = "adaptive"
 KIND_SWEEP = "sweep"
-KINDS = (KIND_CAMPAIGN, KIND_ADAPTIVE, KIND_SWEEP)
+KIND_FLEET = "fleet"
+KINDS = (KIND_CAMPAIGN, KIND_ADAPTIVE, KIND_SWEEP, KIND_FLEET)
 
 #: Schema version recorded in the ``meta`` table.
 SCHEMA_VERSION = 1
@@ -513,6 +514,47 @@ class ResultStore:
         if added:
             obs.active().counter_add("store.put", added)
         return added
+
+    def prune(
+        self,
+        kind: Optional[str] = None,
+        older_than_s: Optional[float] = None,
+    ) -> int:
+        """Delete entries by kind and/or age; returns how many went.
+
+        ``older_than_s`` keeps entries written within the last that-many
+        seconds (the ``created_at`` column). With both arguments ``None``
+        every entry is deleted. Long fleet runs use this to evict stale
+        shard checkpoints (``kind="fleet"``) without touching campaign or
+        sweep results.
+        """
+        if kind is not None and kind not in KINDS:
+            raise ConfigurationError(
+                f"unknown result kind {kind!r}; expected one of {KINDS}"
+            )
+        if not self.path.exists():
+            return 0
+        clauses, params = [], []
+        if kind is not None:
+            clauses.append("kind = ?")
+            params.append(kind)
+        if older_than_s is not None:
+            clauses.append("created_at < ?")
+            params.append(time.time() - older_than_s)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+
+        def delete(conn: sqlite3.Connection) -> int:
+            return conn.execute(
+                f"DELETE FROM results{where}", params  # noqa: S608 — fixed
+            ).rowcount
+
+        try:
+            pruned = int(self._with_retry(delete))
+        except sqlite3.DatabaseError:
+            return 0
+        if pruned:
+            obs.active().counter_add("store.pruned", pruned)
+        return pruned
 
     def evict(self, key: str) -> None:
         """Remove one entry (no-op if absent or the database is gone)."""

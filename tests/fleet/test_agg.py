@@ -1,0 +1,157 @@
+"""Merge laws for the fleet's online aggregators.
+
+Every aggregator promises *exact* mergeability: folding a value stream
+through any partition, in any order, over any number of merges, yields
+bit-identical finalized output. Moments keep exact rational sums
+(every float is a dyadic rational), so even floating-point mean/variance
+survive re-sharding unchanged; the rest hold integer or lattice state
+that is exactly associative by nature.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fleet.agg import (
+    Log2Histogram,
+    MinMax,
+    Moments,
+    QuantileSketch,
+    Tally,
+)
+
+AGGREGATORS = [Moments, MinMax, Tally, Log2Histogram, QuantileSketch]
+
+finite_values = st.floats(
+    min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+value_lists = st.lists(finite_values, max_size=60)
+
+
+def _fold(cls, values):
+    aggregator = cls()
+    for value in values:
+        aggregator.update(1 if cls is Tally else value)
+    return aggregator
+
+
+def _fingerprint(aggregator):
+    return (aggregator.finalize(), aggregator.to_payload())
+
+
+@pytest.mark.parametrize("cls", AGGREGATORS)
+@given(chunks=st.lists(value_lists, min_size=1, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_merge_equals_single_stream(cls, chunks):
+    # Associativity/homomorphism: fold each chunk separately and merge,
+    # versus fold the concatenation — bit-identical.
+    merged = cls()
+    for chunk in chunks:
+        merged.merge(_fold(cls, chunk))
+    flat = _fold(cls, [value for chunk in chunks for value in chunk])
+    assert _fingerprint(merged) == _fingerprint(flat)
+
+
+@pytest.mark.parametrize("cls", AGGREGATORS)
+@given(values=value_lists)
+@settings(max_examples=60, deadline=None)
+def test_identity_element(cls, values):
+    # Merging an empty aggregator on either side changes nothing.
+    left = _fold(cls, values)
+    left.merge(cls())
+    right = cls()
+    right.merge(_fold(cls, values))
+    assert _fingerprint(left) == _fingerprint(right)
+    assert _fingerprint(left) == _fingerprint(_fold(cls, values))
+
+
+@pytest.mark.parametrize("cls", AGGREGATORS)
+@given(
+    a=value_lists, b=value_lists,
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_shard_order_invariance(cls, a, b, data):
+    # Commutativity: A+B == B+A, and any permutation of many shards
+    # finalizes identically.
+    ab = cls()
+    ab.merge(_fold(cls, a))
+    ab.merge(_fold(cls, b))
+    ba = cls()
+    ba.merge(_fold(cls, b))
+    ba.merge(_fold(cls, a))
+    assert _fingerprint(ab) == _fingerprint(ba)
+
+
+@pytest.mark.parametrize("cls", AGGREGATORS)
+@pytest.mark.parametrize("seed", [1, 17, 7919])
+def test_random_partitions_bit_identical(cls, seed):
+    # Randomized seeds: one stream, many random shardings, one answer.
+    pick = random.Random(seed)
+    values = [pick.lognormvariate(5.0, 2.0) for _ in range(200)]
+    reference = _fingerprint(_fold(cls, values))
+    for _ in range(5):
+        cuts = sorted(pick.sample(range(1, len(values)), 4))
+        shards = [
+            values[start:stop]
+            for start, stop in zip([0] + cuts, cuts + [len(values)])
+        ]
+        pick.shuffle(shards)
+        merged = cls()
+        for shard in shards:
+            merged.merge(_fold(cls, shard))
+        assert _fingerprint(merged) == reference
+
+
+@pytest.mark.parametrize("cls", AGGREGATORS)
+@given(values=value_lists)
+@settings(max_examples=40, deadline=None)
+def test_payload_round_trip(cls, values):
+    aggregator = _fold(cls, values)
+    restored = cls.from_payload(aggregator.to_payload())
+    assert _fingerprint(restored) == _fingerprint(aggregator)
+
+
+def test_moments_are_exact_rationals():
+    # 0.1 + 0.2 + 0.3 in floats depends on order; the rational-sum
+    # Moments does not.
+    forward = _fold(Moments, [0.1, 0.2, 0.3])
+    backward = _fold(Moments, [0.3, 0.2, 0.1])
+    assert forward.to_payload() == backward.to_payload()
+    assert forward.mean == backward.mean
+    # And the finalized mean is the correctly rounded true value.
+    assert forward.mean == float(
+        (__import__("fractions").Fraction(0.1)
+         + __import__("fractions").Fraction(0.2)
+         + __import__("fractions").Fraction(0.3)) / 3
+    )
+
+
+def test_minmax_and_tally_semantics():
+    minmax = _fold(MinMax, [3.0, -1.0, 7.5])
+    assert minmax.finalize() == {"min": -1.0, "max": 7.5}
+    tally = Tally()
+    tally.update(5)
+    tally.update()
+    assert tally.count == 6
+
+
+def test_quantile_sketch_bounds_and_tail():
+    sketch = _fold(QuantileSketch, [float(v) for v in range(1, 1001)])
+    # Log-bucket quantiles are upper bounds within one bucket's relative
+    # error (2**(1/RESOLUTION) ≈ 2.2%).
+    for q in (0.5, 0.99, 0.999):
+        estimate = sketch.quantile(q)
+        true = q * 1000.0
+        assert true <= estimate <= true * 2 ** (1 / 16)
+    assert sketch.tail_fraction(float("inf")) == 0.0
+    assert sketch.tail_fraction(0.0) == pytest.approx(1.0)
+    empty = QuantileSketch()
+    assert math.isnan(empty.tail_fraction(0.5))
+    with pytest.raises(ConfigurationError):
+        sketch.update(-1.0)
+    with pytest.raises(ConfigurationError):
+        sketch.update(float("nan"))

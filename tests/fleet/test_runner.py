@@ -1,0 +1,141 @@
+"""The streaming fleet runner: sharding, checkpoints, exact resume.
+
+The contract under test is the tentpole's: streamed, sharded,
+constant-memory aggregation must be *bit-identical* to the
+materialize-everything oracle, for any worker count, and across a
+kill/resume boundary.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.fleet import (
+    FleetInterrupted,
+    FleetSpec,
+    assignment,
+    run_fleet,
+    run_fleet_naive,
+    shard_key,
+    shard_plan,
+    simulate_module,
+    simulate_module_oracle,
+)
+from repro.store import KIND_FLEET, ResultStore
+
+#: Small but non-trivial: 3 shards, two of them full.
+SPEC = FleetSpec(
+    n_modules=10, seed=41, rows_per_module=2, n_measurements=8, shard_size=4
+)
+
+
+def _fingerprint(result) -> str:
+    return json.dumps(
+        {"summary": result.summary,
+         "margins": {f"{m:g}": v for m, v in sorted(result.margins.items())}},
+        sort_keys=True,
+    )
+
+
+def test_shard_plan_is_pure_and_covers_population():
+    plan = shard_plan(SPEC)
+    assert plan == [(0, 4), (4, 8), (8, 10)]
+    assert plan == shard_plan(SPEC)  # worker count never reshapes layout
+
+
+def test_simulate_module_matches_scalar_oracle():
+    member = assignment(SPEC, 3)
+    fast = simulate_module(member, SPEC)
+    oracle, series = simulate_module_oracle(member, SPEC)
+    assert fast == oracle
+    assert series.shape == (SPEC.rows_per_module, SPEC.n_measurements)
+
+
+def test_streamed_matches_materialized_oracle():
+    streamed = run_fleet(SPEC, n_jobs=1, checkpoint=False)
+    naive = run_fleet_naive(SPEC)
+    assert _fingerprint(streamed) == _fingerprint(naive)
+    assert streamed.summary["modules"] == SPEC.n_modules
+
+
+def test_worker_count_never_changes_output_bits():
+    single = run_fleet(SPEC, n_jobs=1, checkpoint=False)
+    pooled = run_fleet(SPEC, n_jobs=3, checkpoint=False)
+    assert _fingerprint(single) == _fingerprint(pooled)
+
+
+def test_kill_and_resume_is_bit_exact(tmp_path):
+    interrupted_store = tmp_path / "interrupted.sqlite"
+    clean_store = tmp_path / "clean.sqlite"
+
+    with pytest.raises(FleetInterrupted):
+        run_fleet(SPEC, n_jobs=1, store=interrupted_store,
+                  fail_after_shards=1)
+    # The kill left exactly the checkpointed shards behind.
+    store = ResultStore(interrupted_store)
+    assert store.stats()["per_kind"] == {KIND_FLEET: 1}
+
+    with obs.tracing() as recorder:
+        resumed = run_fleet(SPEC, n_jobs=1, store=interrupted_store)
+    counters = recorder.snapshot()["counters"]
+    assert counters["fleet.shards.resumed"] == 1
+    assert counters["fleet.shards.computed"] == 2
+    # Resuming hit the store for the surviving shard (cache hit path).
+    assert counters["store.hit"] >= 1
+    assert resumed.resumed_shards == 1
+    assert resumed.computed_shards == 2
+
+    uninterrupted = run_fleet(SPEC, n_jobs=1, store=clean_store)
+    assert _fingerprint(resumed) == _fingerprint(uninterrupted)
+
+
+def test_completed_run_resumes_entirely_from_checkpoints(tmp_path):
+    store = tmp_path / "fleet.sqlite"
+    first = run_fleet(SPEC, n_jobs=1, store=store)
+    second = run_fleet(SPEC, n_jobs=1, store=store)
+    assert first.computed_shards == 3 and first.resumed_shards == 0
+    assert second.computed_shards == 0 and second.resumed_shards == 3
+    assert _fingerprint(first) == _fingerprint(second)
+
+
+def test_checkpoints_key_on_spec_digest(tmp_path):
+    store = tmp_path / "fleet.sqlite"
+    run_fleet(SPEC, n_jobs=1, store=store)
+    # A different recipe shares nothing with the cached shards.
+    other = FleetSpec(
+        n_modules=10, seed=41, rows_per_module=2, n_measurements=9,
+        shard_size=4,
+    )
+    assert shard_key(SPEC, 0, 4) != shard_key(other, 0, 4)
+    result = run_fleet(other, n_jobs=1, store=store)
+    assert result.resumed_shards == 0
+    assert result.computed_shards == 3
+
+
+def test_prune_covers_fleet_kind(tmp_path):
+    path = tmp_path / "fleet.sqlite"
+    run_fleet(SPEC, n_jobs=1, store=path)
+    store = ResultStore(path)
+    assert store.stats()["per_kind"][KIND_FLEET] == 3
+    # Fresh entries survive an age filter, fall to the kind filter.
+    assert store.prune(kind=KIND_FLEET, older_than_s=3600.0) == 0
+    assert store.prune(kind=KIND_FLEET) == 3
+    assert store.stats()["per_kind"] == {}
+
+
+def test_progress_stream_and_result_payload(tmp_path):
+    events = []
+    result = run_fleet(
+        SPEC, n_jobs=1, store=tmp_path / "fleet.sqlite",
+        progress=events.append,
+    )
+    assert [tuple(event["shard"]) for event in events] == shard_plan(SPEC)
+    assert {event["source"] for event in events} == {"computed"}
+    payload = result.to_payload()
+    assert payload["spec"] == SPEC.to_payload()
+    assert set(payload["margins"]) == {"0.1", "0.2", "0.3", "0.4", "0.5"}
+    # Failure probability cannot increase with a larger guardband.
+    rates = [payload["margins"][key]
+             for key in ("0.1", "0.2", "0.3", "0.4", "0.5")]
+    assert rates == sorted(rates, reverse=True)

@@ -182,6 +182,87 @@ def test_bad_requests_yield_error_events(service):
         assert client.ping()
 
 
+def _progress(index):
+    return {"event": "rows", "done_shards": index}
+
+
+def test_event_buffer_bounds_replay_and_drops_oldest():
+    from repro.service.server import Job
+
+    job = Job(1, spec=None, high_water=4)
+    for index in range(10):
+        job.publish(_progress(index))
+    assert len(job.events) == 4
+    assert job.events_dropped == 6
+    # Newest progress lines survive; the oldest were evicted.
+    replayed = [json.loads(line) for line in job.events]
+    assert [event["done_shards"] for event in replayed] == [6, 7, 8, 9]
+
+
+def test_event_buffer_never_evicts_terminal_line():
+    from repro.service.server import Job
+
+    job = Job(1, spec=None, high_water=3)
+    for index in range(20):
+        job.publish(_progress(index))
+    job.publish({"event": "result", "status": "computed"}, terminal=True)
+    assert job.done
+    assert json.loads(job.events[-1])["event"] == "result"
+    # A late subscriber still sees the outcome and the end-of-stream
+    # marker, in order, within the bounded replay.
+    queue = job.subscribe()
+    drained = []
+    while not queue.empty():
+        drained.append(queue.get_nowait())
+    assert drained[-1] is None
+    assert json.loads(drained[-2])["event"] == "result"
+    assert len(drained) <= job.high_water + 1
+
+
+def test_slow_subscriber_queue_is_bounded():
+    from repro import obs
+    from repro.service.server import Job
+
+    with obs.tracing() as recorder:
+        job = Job(1, spec=None, high_water=4)
+        queue = job.subscribe()  # attached live, never drained
+        for index in range(50):
+            job.publish(_progress(index))
+        job.publish({"event": "result", "status": "computed"},
+                    terminal=True)
+        assert queue.qsize() <= job.high_water + 1
+        drained = []
+        while not queue.empty():
+            drained.append(queue.get_nowait())
+        # The stalled client lost old progress lines but always gets the
+        # terminal result and the end-of-stream marker.
+        assert drained[-1] is None
+        assert json.loads(drained[-2])["event"] == "result"
+        assert recorder.snapshot()["counters"]["service.events_dropped"] > 0
+
+
+def test_event_buffer_env_override(monkeypatch):
+    from repro.errors import ConfigurationError
+    from repro.service.server import (
+        DEFAULT_EVENT_BUFFER_HIGH_WATER,
+        EVENT_BUFFER_ENV_VAR,
+        Job,
+        event_buffer_high_water,
+    )
+
+    monkeypatch.delenv(EVENT_BUFFER_ENV_VAR, raising=False)
+    assert event_buffer_high_water() == DEFAULT_EVENT_BUFFER_HIGH_WATER
+    assert Job(1, spec=None).high_water == DEFAULT_EVENT_BUFFER_HIGH_WATER
+    monkeypatch.setenv(EVENT_BUFFER_ENV_VAR, "8")
+    assert Job(1, spec=None).high_water == 8
+    monkeypatch.setenv(EVENT_BUFFER_ENV_VAR, "1")
+    with pytest.raises(ConfigurationError, match="must be >= 2"):
+        event_buffer_high_water()
+    monkeypatch.setenv(EVENT_BUFFER_ENV_VAR, "many")
+    with pytest.raises(ConfigurationError, match="must be an integer"):
+        event_buffer_high_water()
+
+
 def test_ping_and_stats(service):
     with service.client() as client:
         assert client.ping()

@@ -204,3 +204,92 @@ def test_bench_repo_records(capsys):
     out = capsys.readouterr().out
     assert "adaptive" in out
     assert "engine" in out
+    assert "fleet" in out
+
+
+def test_bench_auto_discovers_new_records(capsys, tmp_path):
+    """Any newly dropped BENCH_*.json joins the trajectory unchanged —
+    the fleet benchmark rides the same auto-discovery as every other."""
+    import json
+
+    _write_bench_records(tmp_path)
+    (tmp_path / "BENCH_fleet.json").write_text(json.dumps({
+        "speedup": 9.5, "rss_10k_mb": 72.0,
+        "date": "2026-08-08", "commit": "0123abc",
+    }))
+    assert main(["bench", "--dir", str(tmp_path), "--json"]) == 0
+    records = json.loads(capsys.readouterr().out)
+    assert [record["bench"] for record in records] == [
+        "alpha", "beta", "fleet",
+    ]
+    fleet = records[-1]
+    assert fleet["metric"] == "speedup"
+    assert fleet["value"] == 9.5
+
+
+FLEET_ARGS = [
+    "fleet", "-m", "6", "--rows", "2", "-n", "6", "--shard-size", "2",
+    "--seed", "77",
+]
+
+
+def test_fleet_command_tables_and_json(capsys, tmp_path):
+    import json
+
+    store = str(tmp_path / "fleet.sqlite")
+    assert main(FLEET_ARGS + ["--store", store, "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "fleet guardband failure" in out
+    assert "per-region guardband failures" in out
+    assert "ECC undetectable escape" in out
+
+    output = tmp_path / "fleet.json"
+    assert main(FLEET_ARGS + [
+        "--store", store, "--quiet", "--json", "-o", str(output),
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload == json.loads(output.read_text())
+    assert payload["resumed_shards"] == 3  # second run rode checkpoints
+    assert payload["summary"]["modules"] == 6
+
+
+def test_fleet_command_interrupt_then_resume(capsys, tmp_path):
+    import json
+
+    store = str(tmp_path / "fleet.sqlite")
+    assert main(FLEET_ARGS + [
+        "--store", store, "--quiet", "--fail-after-shards", "1",
+    ]) == 3
+    assert "interrupted" in capsys.readouterr().err
+    assert main(FLEET_ARGS + ["--store", store, "--json"]) == 0
+    captured = capsys.readouterr()
+    resumed = json.loads(captured.out)
+    assert resumed["resumed_shards"] == 1
+    assert "resumed" in captured.err
+
+    clean = str(tmp_path / "clean.sqlite")
+    assert main(FLEET_ARGS + ["--store", clean, "--quiet", "--json"]) == 0
+    uninterrupted = json.loads(capsys.readouterr().out)
+    for payload in (resumed, uninterrupted):
+        payload.pop("computed_shards")
+        payload.pop("resumed_shards")
+    assert resumed == uninterrupted
+
+
+def test_store_prune_command(capsys, tmp_path):
+    store = str(tmp_path / "results.sqlite")
+    assert main(FLEET_ARGS + ["--store", store, "--quiet"]) == 0
+    capsys.readouterr()
+
+    # Refuses a filterless wipe.
+    assert main(["store", "prune", "--store", store]) == 1
+    assert "refusing" in capsys.readouterr().err
+
+    assert main(["store", "prune", "--store", store, "--kind", "fleet",
+                 "--older-than", "1"]) == 0
+    assert "pruned 0 fleet entries" in capsys.readouterr().out
+
+    assert main(["store", "prune", "--store", store, "--kind", "fleet"]) == 0
+    assert "pruned 3 fleet entries" in capsys.readouterr().out
+    assert main(["store", "stats", "--store", store]) == 0
+    assert "fleet" not in capsys.readouterr().out
