@@ -1,0 +1,157 @@
+"""Cross-protocol perf baseline: checker overhead and campaign throughput.
+
+Two tentpole budgets for the multi-protocol device layer:
+
+* **checker overhead** — a compiled Bender trial series (the measurement
+  stack's hot path) with ``VRD_TIMING_CHECK=1`` vs off. The checker's
+  compressed log entries (one :class:`~repro.dram.commands.HammerBlock`
+  per hammer loop) must keep the checked run within ``1.3x`` of the
+  unchecked run, and the measured series must stay bit-identical.
+* **cross-protocol campaign throughput** — a reduced characterization
+  campaign on one catalog representative per protocol (DDR4 ``M1``,
+  DDR5 ``D0``, HBM2 ``Chip0``), recording observations per second so
+  protocol-layer regressions (geometry dispatch, timing tables) show
+  up as a throughput drop.
+
+Results land in ``BENCH_protocol.json`` at the repo root and surface in
+``python -m repro bench``.
+
+Scale knobs: ``VRD_BENCH_PROTOCOL_MEASUREMENTS`` (series length, default
+100), ``VRD_BENCH_PROTOCOL_CAMPAIGN_MEASUREMENTS`` (campaign series
+length, default 40), ``VRD_BENCH_PROTOCOL_REPS`` (timing repetitions,
+default 1), ``VRD_BENCH_PROTOCOL_MAX_OVERHEAD`` (asserted checker
+overhead ceiling, default 1.3).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bender.host import DramBender
+from repro.chips import build_module
+from repro.core.campaign import Campaign
+from repro.core.config import TestConfig
+from repro.core.patterns import CHECKERED0
+from repro.core.rdt import FastRdtMeter, HammerSweep, RdtMeter
+from repro.dram.checker import TIMING_CHECK_ENV_VAR
+from repro.dram.faults import VrdModelParams
+from repro.dram.geometry import DramGeometry
+from repro.dram.module import DramModule
+
+N_MEASUREMENTS = int(os.environ.get("VRD_BENCH_PROTOCOL_MEASUREMENTS", 100))
+N_CAMPAIGN = int(
+    os.environ.get("VRD_BENCH_PROTOCOL_CAMPAIGN_MEASUREMENTS", 40)
+)
+REPS = int(os.environ.get("VRD_BENCH_PROTOCOL_REPS", 1))
+MAX_OVERHEAD = float(
+    os.environ.get("VRD_BENCH_PROTOCOL_MAX_OVERHEAD", 1.3)
+)
+
+SEED = 1234
+BANK = 0
+VICTIM = 200
+RADIUS = 16
+
+#: One catalog representative per protocol.
+REPRESENTATIVES = (("DDR4", "M1"), ("DDR5", "D0"), ("HBM2", "Chip0"))
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_protocol.json"
+
+
+def _module() -> DramModule:
+    geometry = DramGeometry(
+        n_banks=2, n_rows=1024, row_bits_per_chip=1024, n_chips=8
+    )
+    module = DramModule(
+        "BENCH",
+        geometry=geometry,
+        vrd_params=VrdModelParams(mean_rdt=2000.0),
+        seed=SEED,
+    )
+    module.disable_interference_sources()
+    return module
+
+
+def _config(module: DramModule) -> TestConfig:
+    return TestConfig(CHECKERED0, t_agg_on_ns=module.timing.tRAS)
+
+
+def _shared_sweep() -> HammerSweep:
+    module = _module()
+    guess = FastRdtMeter(module, BANK).guess_rdt(VICTIM, _config(module))
+    return HammerSweep.from_guess(guess)
+
+
+SWEEP = _shared_sweep()
+
+
+def _series_route(checked: bool) -> np.ndarray:
+    previous = os.environ.get(TIMING_CHECK_ENV_VAR)
+    os.environ[TIMING_CHECK_ENV_VAR] = "1" if checked else "0"
+    try:
+        module = _module()
+        bender = DramBender(module, init_radius=RADIUS)
+        meter = RdtMeter(bender, BANK, compiled=True)
+        series = meter.measure_series(
+            VICTIM, _config(module), N_MEASUREMENTS, sweep=SWEEP
+        )
+        return series.values
+    finally:
+        if previous is None:
+            del os.environ[TIMING_CHECK_ENV_VAR]
+        else:
+            os.environ[TIMING_CHECK_ENV_VAR] = previous
+
+
+def _campaign_route(module_id: str) -> int:
+    module = build_module(module_id, seed=SEED)
+    module.disable_interference_sources()
+    config = _config(module)
+    campaign = Campaign(module, [config], n_measurements=N_CAMPAIGN)
+    result = campaign.run([10, 20, 30])
+    return len(result)
+
+
+def _best_of(route):
+    best, result = None, None
+    for _ in range(max(1, REPS)):
+        t0 = time.perf_counter()
+        result = route()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def test_protocol_checker_overhead_and_throughput():
+    unchecked_s, unchecked = _best_of(lambda: _series_route(False))
+    checked_s, checked = _best_of(lambda: _series_route(True))
+    # The checker must observe, never perturb: bit-identical series
+    # (assert_array_equal treats the NaNs of failed sweeps as equal).
+    np.testing.assert_array_equal(checked, unchecked)
+    overhead = checked_s / unchecked_s
+
+    record = {
+        "measurements": N_MEASUREMENTS,
+        "campaign_measurements": N_CAMPAIGN,
+        "reps": REPS,
+        "unchecked_series_s": round(unchecked_s, 4),
+        "checked_series_s": round(checked_s, 4),
+        "checker_overhead": round(overhead, 3),
+    }
+    for protocol, module_id in REPRESENTATIVES:
+        elapsed, n_obs = _best_of(lambda m=module_id: _campaign_route(m))
+        key = protocol.lower()
+        record[f"{key}_campaign_s"] = round(elapsed, 4)
+        record[f"{key}_obs_per_s"] = round(n_obs / elapsed, 2)
+
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nprotocol perf: {json.dumps(record)}")
+
+    assert record["checker_overhead"] <= MAX_OVERHEAD
+    for protocol, _ in REPRESENTATIVES:
+        assert record[f"{protocol.lower()}_obs_per_s"] > 0

@@ -195,6 +195,7 @@ def _module_campaign(
                 "rows_per_block": rows_per_block,
                 "block_rows": select_block_rows,
             },
+            protocol=device.protocol,
         )
         cached = cache.load(cache_key)
         if cached is not None:
@@ -279,6 +280,7 @@ def adaptive_module_campaign(
                 },
                 schedule="adaptive",
                 adaptive=adaptive,
+                protocol=device.protocol,
             )
             cached = cache.load_adaptive(cache_key)
             if cached is not None:
@@ -315,6 +317,43 @@ def campaigns_for(
     }
 
 
+#: One representative catalog device per protocol. Cross-protocol figure
+#: sweeps and the CI protocol-smoke job run the campaign suite on these:
+#: a DDR4 DIMM, a projected DDR5 device, and an HBM2 stack whose compact
+#: build exercises the pseudo-channel geometry end-to-end.
+PROTOCOL_REPRESENTATIVES: Dict[str, str] = {
+    "DDR4": "M1",
+    "DDR5": "D0",
+    "HBM2": "Chip0",
+}
+
+
+def cross_protocol_campaigns(
+    protocols: Sequence[str] = ("DDR4", "DDR5", "HBM2"),
+    **kwargs,
+) -> Dict[str, CampaignResult]:
+    """:func:`module_campaign` on one representative device per protocol.
+
+    Returns ``{protocol: CampaignResult}``. Any :func:`module_campaign`
+    keyword applies to every protocol's run; cache entries never collide
+    across protocols (the key carries both module id and protocol).
+    """
+    from repro.errors import ConfigurationError
+
+    for protocol in protocols:
+        if protocol not in PROTOCOL_REPRESENTATIVES:
+            raise ConfigurationError(
+                f"unknown protocol {protocol!r}; choose from "
+                f"{sorted(PROTOCOL_REPRESENTATIVES)}"
+            )
+    return {
+        protocol: module_campaign(
+            PROTOCOL_REPRESENTATIVES[protocol], **kwargs
+        )
+        for protocol in protocols
+    }
+
+
 def fleet_guardband(
     n_modules: int = 1000,
     seed: int = DEFAULT_SEED,
@@ -325,6 +364,7 @@ def fleet_guardband(
     n_jobs: Optional[int] = None,
     store=None,
     checkpoint: bool = True,
+    protocols: Optional[Sequence[str]] = None,
 ) -> dict:
     """Fleet-level guardband failure probability and ECC escape figure.
 
@@ -334,8 +374,14 @@ def fleet_guardband(
     undetectable-escape distribution, and per-region/per-workload
     breakdowns. All numbers are bit-identical for any worker count and
     across checkpoint resumes.
+
+    ``protocols`` restricts (or widens) the device pool the population
+    samples — e.g. ``("DDR4", "DDR5", "HBM2")`` for a protocol-mixed
+    deployment. ``None`` keeps the historical DDR4+HBM2 catalog and its
+    exact population draws.
     """
     from repro.fleet import FleetSpec, run_fleet
+    from repro.fleet.population import DEFAULT_PROTOCOLS
 
     recorder = obs.active()
     with recorder.span("figures.fleet_guardband"):
@@ -346,6 +392,10 @@ def fleet_guardband(
             n_measurements=n_measurements,
             guardband_margin=guardband_margin,
             shard_size=shard_size,
+            protocols=(
+                DEFAULT_PROTOCOLS if protocols is None
+                else tuple(protocols)
+            ),
         )
         result = run_fleet(
             fleet_spec, n_jobs=n_jobs, store=store, checkpoint=checkpoint

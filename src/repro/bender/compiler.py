@@ -55,6 +55,13 @@ from repro.bender.interpreter import ExecutionResult, Interpreter
 from repro.bender.isa import Act, Hammer, Pre, ReadRow, Wait, WriteRow
 from repro.bender.program import Program
 from repro.dram.bank import _RowStress
+from repro.dram.commands import (
+    Command,
+    CommandBurst,
+    CommandKind,
+    HammerBlock,
+    RepeatBlock,
+)
 from repro.dram.module import DramModule
 from repro.errors import CommandSequenceError, ProgramError
 
@@ -253,13 +260,24 @@ class CompiledProgram:
         start = now
         reads: Dict[str, np.ndarray] = {}
         banks = module.banks
+        # Timing-check pass: record the same logical stream the scalar
+        # interpreter would; None on the (default) unchecked path.
+        record = interpreter.record if interpreter.log is not None else None
+        tCCD_L_WR = timing.tCCD_L_WR
+        tCCD_L = timing.tCCD_L
 
         for step in self.steps:
             op = step[0]
             if op == OP_WRITE:
                 bank = banks[step[1]]
-                finish = max(now, bank.opened_at + tRCD) + write_tail
+                first_wr = max(now, bank.opened_at + tRCD)
+                finish = first_wr + write_tail
                 module.write_row(step[1], step[2], step[4], finish)
+                if record is not None:
+                    record(CommandBurst(
+                        CommandKind.WR, first_wr, tCCD_L_WR, columns,
+                        bank=step[1], row=step[2],
+                    ))
                 now = finish
             elif op == OP_ACT:
                 bank = banks[step[1]]
@@ -267,6 +285,10 @@ class CompiledProgram:
                     now, bank.last_precharge + tRP, bank.last_activate + tRC
                 )
                 module.activate(step[1], step[2], ready)
+                if record is not None:
+                    record(Command(
+                        CommandKind.ACT, ready, bank=step[1], row=step[2]
+                    ))
                 now = ready
             elif op == OP_PRE:
                 bank = banks[step[1]]
@@ -276,18 +298,37 @@ class CompiledProgram:
                 if step[2] is not None:
                     ready = max(ready, bank.opened_at + step[2])
                 module.precharge(step[1], ready)
+                if record is not None:
+                    record(Command(CommandKind.PRE, ready, bank=step[1]))
                 now = ready
             elif op == OP_PRE_IDLE:
                 module.precharge(step[1], now)
+                if record is not None:
+                    record(Command(CommandKind.PRE, now, bank=step[1]))
             elif op == OP_READ:
                 bank = banks[step[1]]
-                finish = max(now, bank.opened_at + tRCD) + read_tail + tRTP
+                first_rd = max(now, bank.opened_at + tRCD)
+                finish = first_rd + read_tail + tRTP
                 reads[step[4]] = module.read_row(step[1], step[2], finish)
+                if record is not None:
+                    record(CommandBurst(
+                        CommandKind.RD, first_rd, tCCD_L, columns,
+                        bank=step[1], row=step[2],
+                    ))
                 now = finish
             elif op == OP_WAIT:
                 now += step[1]
             else:  # OP_HAMMER
+                if record is not None:
+                    first_act = max(
+                        now, banks[step[1]].last_precharge + tRP
+                    )
                 now = module.bulk_hammer(step[1], step[2], step[4], step[3], now)
+                if record is not None and step[4] > 0 and step[2]:
+                    record(HammerBlock(
+                        step[1], tuple(step[2]), step[4], step[3], tRP,
+                        first_act,
+                    ))
 
         interpreter.now = now
         for kind, amount in self.static_counts.items():
@@ -359,6 +400,127 @@ class CompiledTrial:
         self._static_counts["PRE"] = counts.get("PRE", 0) - placeholder
         self._static_acts = sum(1 for step in steps if step[0] == OP_ACT)
         self._placed: Dict[int, np.ndarray] = {}
+        # Checked replays: a rigid plan's command stream is a pure time
+        # translation of any earlier replay's stream (parametric in the
+        # hammer count), so the full rule walk runs once and later
+        # replays are validated from junction checks alone.
+        self._rigid = self._rigid_stream(steps)
+        self._lead_wait = 0.0
+        for step in steps:
+            if step[0] != OP_WAIT:
+                break
+            self._lead_wait += step[1]
+        self._certified: Optional[dict] = None
+
+    @staticmethod
+    def _rigid_stream(steps) -> bool:
+        """Whether every command time is a fixed offset from the first
+        command (before the hammer) or from the hammer's end (after it).
+
+        Holds when only the opening ACT can read pre-entry bank state:
+        the plan opens with ACT, every PRE follows an in-plan WRITE (so
+        ``last_write_end`` is plan-internal), row state is statically
+        consistent, and no WRITE follows the hammer. Trial plans built by
+        ``DramBender`` satisfy all of this; anything else falls back to
+        the full per-command walk.
+        """
+        is_open = False
+        seen_write = False
+        seen_hammer = False
+        first = True
+        for step in steps:
+            op = step[0]
+            if op == OP_WAIT:
+                continue
+            if first:
+                if op != OP_ACT:
+                    return False
+                first = False
+            if op == OP_ACT:
+                if is_open:
+                    return False
+                is_open = True
+            elif op == OP_WRITE:
+                if not is_open or seen_hammer:
+                    return False
+                seen_write = True
+            elif op == OP_READ:
+                if not is_open:
+                    return False
+            elif op == OP_PRE:
+                if not is_open or not seen_write:
+                    return False
+                is_open = False
+            elif op == OP_PRE_IDLE:
+                is_open = False
+            elif op == OP_HAMMER:
+                if is_open:
+                    return False
+                seen_hammer = True
+        return not first
+
+    @staticmethod
+    def _segment_template(entries, anchor: float):
+        """Per-(kind, bank) first/last occurrences of a logged segment,
+        as ``(kind, bank, rel_time, rel_index)`` offsets from ``anchor``
+        — the junction summary ``TimingChecker.feed_certified`` takes."""
+        firsts: Dict[Tuple[str, int], Tuple[str, int, float, int]] = {}
+        lasts: Dict[Tuple[str, int], Tuple[str, int, float, int]] = {}
+        index = 0
+        for entry in entries:
+            kind = entry.kind.value
+            if isinstance(entry, Command):
+                t_first = t_last = entry.issued_at
+                count = 1
+            else:  # CommandBurst — rigid trials log nothing else here
+                t_first = entry.start
+                t_last = entry.last_at
+                count = entry.count
+            key = (kind, entry.bank)
+            if key not in firsts:
+                firsts[key] = (kind, entry.bank, t_first - anchor, index)
+            lasts[key] = (
+                kind, entry.bank, t_last - anchor, index + count - 1
+            )
+            index += count
+        return tuple(firsts.values()), tuple(lasts.values()), index
+
+    def _capture_template(self, log, start: int, hammer_end: float) -> None:
+        """Summarize the stream a full-walk replay just logged.
+
+        The prefix (before the hammer block) is anchored at its opening
+        ACT; the tail at the hammer's end time. Both anchors translate
+        rigidly between replays with nonzero hammer counts — the hammer
+        leaves the bank a count-independent offset before its end — so
+        the captured relative offsets certify every later replay against
+        this log.
+        """
+        entries = log.entries
+        split = next(
+            (
+                i for i in range(start, len(entries))
+                if isinstance(entries[i], HammerBlock)
+            ),
+            None,
+        )
+        if split is None:
+            return  # no hammer block logged; re-try on a later replay
+        prefix = entries[start:split]
+        tail = entries[split + 1:]
+        if not prefix or not tail:
+            return
+        anchor = prefix[0].issued_at  # the opening ACT of a rigid plan
+        self._certified = {
+            "log": log,
+            "prefix": (
+                *self._segment_template(prefix, anchor),
+                (start, split - start), anchor,
+            ),
+            "tail": (
+                *self._segment_template(tail, hammer_end),
+                (split + 1, len(entries) - split - 1), hammer_end,
+            ),
+        }
 
     def replay(self, interpreter: Interpreter, hammer_count: int) -> List[int]:
         """One trial at ``hammer_count``; returns flipped bit positions."""
@@ -396,12 +558,53 @@ class CompiledTrial:
         skip_ok = not module.refresh_enabled
         placed = self._placed
         flips: List[int] = []
+        record = interpreter.record if interpreter.log is not None else None
+        bank_index = self.bank_index
+        # Checked replays of a rigid plan go through the certified fast
+        # path: the first one runs the full per-command walk and captures
+        # a junction template; later ones validate in O(1) per segment.
+        # ``record_hammer`` stays live either way — the hammer count is a
+        # per-call operand, so its block always feeds the checker.
+        record_hammer = record
+        cert = None
+        capture_start = None
+        hammer_end = 0.0
+        if record is not None and self._rigid and hammer_count > 0 \
+                and self._hammer_rows:
+            checker = interpreter._checker
+            if checker.supports_certified:
+                template = self._certified
+                if (
+                    template is not None
+                    and template["log"] is interpreter.log
+                ):
+                    cert = template
+                    record = None
+                    t0 = max(
+                        now + self._lead_wait,
+                        last_precharge + tRP,
+                        last_activate + tRC,
+                    )
+                    firsts, lasts, n_cmds, slc, anchor = cert["prefix"]
+                    interpreter.log.append(
+                        RepeatBlock(slc[0], slc[1], t0 - anchor, n_cmds)
+                    )
+                    if checker.feed_certified(firsts, lasts, n_cmds, t0):
+                        checker.report.raise_if_violations()
+                else:
+                    capture_start = len(interpreter.log.entries)
 
         for step in self._steps:
             op = step[0]
             if op == OP_WRITE:
                 physical = step[3]
-                finish = max(now, opened_at + tRCD) + write_tail
+                first_wr = max(now, opened_at + tRCD)
+                finish = first_wr + write_tail
+                if record is not None:
+                    record(CommandBurst(
+                        CommandKind.WR, first_wr, timing.tCCD_L_WR,
+                        columns, bank=bank_index, row=step[2],
+                    ))
                 stress = stress_map.get(physical)
                 mine = placed.get(physical)
                 if (
@@ -428,11 +631,17 @@ class CompiledTrial:
                 last_activate = ready
                 if trr is not None:
                     trr.observe(step[3])
+                if record is not None:
+                    record(Command(
+                        CommandKind.ACT, ready, bank=bank_index, row=step[2]
+                    ))
                 now = ready
             elif op == OP_PRE:
                 ready = max(now, opened_at + tRAS, last_write_end + tWR)
                 if step[2] is not None:
                     ready = max(ready, opened_at + step[2])
+                if record is not None:
+                    record(Command(CommandKind.PRE, ready, bank=bank_index))
                 on_time = ready - opened_at
                 below = step[3]
                 if below >= 0:
@@ -455,9 +664,17 @@ class CompiledTrial:
             elif op == OP_PRE_IDLE:
                 if now > last_precharge:
                     last_precharge = now
+                if record is not None:
+                    record(Command(CommandKind.PRE, now, bank=bank_index))
             elif op == OP_READ:
                 physical = step[3]
-                finish = max(now, opened_at + tRCD) + read_tail + tRTP
+                first_rd = max(now, opened_at + tRCD)
+                finish = first_rd + read_tail + tRTP
+                if record is not None:
+                    record(CommandBurst(
+                        CommandKind.RD, first_rd, timing.tCCD_L,
+                        columns, bank=bank_index, row=step[2],
+                    ))
                 if physical not in storage:
                     data = bank._powerup_content(physical)
                     storage[physical] = data
@@ -473,9 +690,17 @@ class CompiledTrial:
             else:  # OP_HAMMER — the real module call keeps TRR/stress exact
                 bank.last_precharge = last_precharge
                 bank.last_activate = last_activate
+                if record_hammer is not None:
+                    first_act = max(now, last_precharge + tRP)
                 now = module.bulk_hammer(
                     self.bank_index, step[2], hammer_count, step[3], now
                 )
+                hammer_end = now
+                if record_hammer is not None and hammer_count > 0 and step[2]:
+                    record_hammer(HammerBlock(
+                        bank_index, tuple(step[2]), hammer_count, step[3],
+                        tRP, first_act,
+                    ))
                 last_precharge = bank.last_precharge
                 last_activate = bank.last_activate
 
@@ -486,6 +711,18 @@ class CompiledTrial:
         bank.last_write_end = last_write_end
         bank.activation_count += self._static_acts
         interpreter.now = now
+
+        if cert is not None:
+            firsts, lasts, n_cmds, slc, anchor = cert["tail"]
+            interpreter.log.append(
+                RepeatBlock(slc[0], slc[1], hammer_end - anchor, n_cmds)
+            )
+            if checker.feed_certified(firsts, lasts, n_cmds, hammer_end):
+                checker.report.raise_if_violations()
+        elif capture_start is not None:
+            self._capture_template(
+                interpreter.log, capture_start, hammer_end
+            )
 
         total_activations = hammer_count * self._hammer_rows
         for kind, amount in self._static_counts.items():

@@ -47,7 +47,7 @@ class ModuleSpec:
 
     module_id: str
     manufacturer: str  # H / M / S
-    standard: str  # DDR4 / HBM2
+    standard: str  # DDR4 / DDR5 / HBM2
     timing_name: str
     module_part: str
     chip_part: str
@@ -72,6 +72,11 @@ class ModuleSpec:
     @property
     def timing(self) -> TimingParams:
         return PRESETS[self.timing_name]
+
+    @property
+    def protocol(self) -> str:
+        """The protocol family the device declares (= its standard)."""
+        return self.standard
 
     @property
     def density_gb(self) -> int:
@@ -204,7 +209,37 @@ HBM2_SPECS: Tuple[ModuleSpec, ...] = tuple(
     )
 )
 
+#: Four projected DDR5 devices on the Table 6 DDR5-8800 grade. The paper
+#: tests no DDR5 parts; these synthetic specs carry Table-7-shaped summary
+#: statistics (interpolated between the closest DDR4 vendors' rows) so the
+#: cross-protocol figure suite and the DDR5 timing-rule table (REFsb, RFM,
+#: eight bank groups) can be exercised end-to-end.
+DDR5_SPECS: Tuple[ModuleSpec, ...] = (
+    _spec("D0", "H", "DDR5-8800", "Unknown", "Unknown", 16, 1, 8, "x8",
+          "16Gb", "A", "N/A",
+          ((1.06, 1.55), (1.04, 1.48), (1.02, 1.30), (1.00, 1.11)),
+          9600, 2400, standard="DDR5"),
+    _spec("D1", "M", "DDR5-8800", "Unknown", "Unknown", 16, 1, 8, "x8",
+          "16Gb", "A", "N/A",
+          ((1.08, 1.60), (1.05, 1.50), (1.03, 1.32), (1.00, 1.10)),
+          4800, 1900, standard="DDR5"),
+    _spec("D2", "S", "DDR5-8800", "Unknown", "Unknown", 16, 1, 8, "x8",
+          "16Gb", "A", "N/A",
+          ((1.05, 1.75), (1.03, 1.62), (1.01, 1.45), (1.00, 1.15)),
+          8200, 2050, standard="DDR5"),
+    _spec("D3", "S", "DDR5-8800", "Unknown", "Unknown", 32, 2, 8, "x8",
+          "16Gb", "B", "N/A",
+          ((1.05, 1.58), (1.03, 1.46), (1.01, 1.33), (1.00, 1.12)),
+          7400, 2600, standard="DDR5"),
+)
+
+#: The tested-device population of the paper (Tables 1/7). Fleet sampling
+#: draws from this tuple by index, so its contents and order are frozen —
+#: extension devices live in :data:`EXTENDED_SPECS`.
 ALL_SPECS: Tuple[ModuleSpec, ...] = DDR4_SPECS + HBM2_SPECS
+
+#: Every known device, including the projected DDR5 parts.
+EXTENDED_SPECS: Tuple[ModuleSpec, ...] = ALL_SPECS + DDR5_SPECS
 
 #: The 14 devices of the foundational 100k-measurement study (Figs. 1, 3-5):
 #: one module per distinct DDR4 configuration plus the four HBM2 chips.
@@ -216,7 +251,7 @@ FOUNDATIONAL_SPECS: Tuple[ModuleSpec, ...] = tuple(
     )
 )
 
-_BY_ID: Dict[str, ModuleSpec] = {s.module_id: s for s in ALL_SPECS}
+_BY_ID: Dict[str, ModuleSpec] = {s.module_id: s for s in EXTENDED_SPECS}
 
 
 def spec(module_id: str) -> ModuleSpec:
@@ -227,6 +262,19 @@ def spec(module_id: str) -> ModuleSpec:
         raise CatalogError(
             f"unknown module {module_id!r}; known: {sorted(_BY_ID)}"
         ) from None
+
+
+def specs_for_protocol(protocol: str) -> Tuple[ModuleSpec, ...]:
+    """All known devices of one protocol family (catalog order)."""
+    matching = tuple(
+        s for s in EXTENDED_SPECS if s.standard == protocol
+    )
+    if not matching:
+        raise CatalogError(
+            f"no devices for protocol {protocol!r}; known: "
+            f"{sorted({s.standard for s in EXTENDED_SPECS})}"
+        )
+    return matching
 
 
 def vrd_params_for(device: ModuleSpec) -> VrdModelParams:
@@ -298,20 +346,41 @@ def vrd_params_for(device: ModuleSpec) -> VrdModelParams:
 
 
 def _geometry_for(device: ModuleSpec, compact: bool) -> DramGeometry:
+    protocol = device.standard
+    # Protocol topology (JESD79-4C / JESD79-5 / JESD235D): DDR4 x8 ranks
+    # have 4 bank groups of 4 banks; DDR5 x8 has 8 groups of 4; an HBM2
+    # channel splits into 2 pseudo channels of 4 groups x 4 banks. Compact
+    # geometries keep the group/pseudo-channel counts that still tile the
+    # reduced bank count.
     if compact:
         return DramGeometry(
             n_banks=4,
             n_rows=1 << 12,
             row_bits_per_chip=1024,
             n_chips=device.chips,
+            protocol=protocol,
+            n_bank_groups=4 if protocol != "HBM2" else 2,
+            n_pseudo_channels=2 if protocol == "HBM2" else 1,
         )
     # Full scale: 8 Kibit per-chip rows make the module-level row the
     # paper's 64 Kibit row.
+    if protocol == "DDR5":
+        return DramGeometry(
+            n_banks=32,
+            n_rows=1 << 16,
+            row_bits_per_chip=8_192,
+            n_chips=device.chips,
+            protocol="DDR5",
+            n_bank_groups=8,
+        )
     return DramGeometry(
         n_banks=16,
         n_rows=1 << 17,
         row_bits_per_chip=8_192,
         n_chips=device.chips,
+        protocol=protocol,
+        n_bank_groups=4,
+        n_pseudo_channels=2 if protocol == "HBM2" else 1,
     )
 
 
@@ -352,7 +421,7 @@ def build_module(
         device = spec(device)
     return DramModule(
         module_id=device.module_id,
-        kind="HBM2" if device.standard == "HBM2" else "DDR4",
+        kind=device.standard,
         geometry=geometry or _geometry_for(device, compact),
         timing=device.timing,
         mapping_factory=_mapping_for(device),

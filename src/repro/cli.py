@@ -52,6 +52,27 @@ def _add_trace_flags(command: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_timing_check_flag(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--check-timing", action="store_true",
+        help="validate every synthesized DRAM command stream against the "
+             "protocol's JEDEC timing rule table (same switch as "
+             "VRD_TIMING_CHECK=1); the first violation aborts the run",
+    )
+
+
+def _apply_timing_check(args: argparse.Namespace) -> None:
+    """Propagate ``--check-timing`` to the process environment so every
+    execution path (interpreter, compiled Bender, memsim) sees it —
+    including worker processes, which inherit the environment."""
+    if getattr(args, "check_timing", False):
+        import os
+
+        from repro.dram.checker import TIMING_CHECK_ENV_VAR
+
+        os.environ[TIMING_CHECK_ENV_VAR] = "1"
+
+
 def _add_adaptive_flags(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--adaptive", action="store_true",
@@ -107,6 +128,7 @@ def _build_parser() -> argparse.ArgumentParser:
     measure.add_argument("--voltage", type=float, default=2.5)
     measure.add_argument("--seed", type=int, default=None)
     _add_adaptive_flags(measure)
+    _add_timing_check_flag(measure)
     _add_trace_flags(measure)
 
     profile = sub.add_parser(
@@ -135,6 +157,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="save the campaign result to this JSON file",
     )
     _add_adaptive_flags(profile)
+    _add_timing_check_flag(profile)
     _add_trace_flags(profile)
 
     bench = sub.add_parser(
@@ -175,6 +198,7 @@ def _build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--profile-n", type=int, default=5)
     attack.add_argument("--margin", type=float, default=0.0)
     attack.add_argument("--windows", type=int, default=2000)
+    _add_timing_check_flag(attack)
 
     analyze = sub.add_parser(
         "analyze", help="analyze a saved campaign JSON (see profile -o)"
@@ -211,6 +235,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="recompute even if the sweep is cached",
     )
+    _add_timing_check_flag(fig14)
     _add_trace_flags(fig14)
 
     fleet = sub.add_parser(
@@ -223,6 +248,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fleet size (default 1000)",
     )
     fleet.add_argument("--seed", type=int, default=None)
+    fleet.add_argument(
+        "--protocols", default=None, metavar="LIST",
+        help="comma-separated protocols the population samples devices "
+             "from, e.g. DDR4,DDR5,HBM2 (default: the historical "
+             "DDR4+HBM2 catalog)",
+    )
     fleet.add_argument(
         "--rows", type=int, default=6,
         help="sampled rows per module (default 6)",
@@ -738,9 +769,21 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     import json as json_module
 
     from repro.analysis.tables import format_table
-    from repro.fleet import FleetInterrupted, FleetSpec, run_fleet
+    from repro.fleet import (
+        DEFAULT_PROTOCOLS,
+        FleetInterrupted,
+        FleetSpec,
+        run_fleet,
+    )
     from repro.rng import DEFAULT_SEED
 
+    protocols = DEFAULT_PROTOCOLS
+    if args.protocols:
+        protocols = tuple(
+            token.strip().upper()
+            for token in args.protocols.split(",")
+            if token.strip()
+        )
     spec = FleetSpec(
         n_modules=args.modules,
         seed=args.seed if args.seed is not None else DEFAULT_SEED,
@@ -748,6 +791,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         n_measurements=args.measurements,
         guardband_margin=args.margin,
         shard_size=args.shard_size,
+        protocols=protocols,
     )
 
     def progress(event: dict) -> None:
@@ -787,7 +831,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         ["margin", "fleet failure probability"],
         [(f"{margin:.0%}", rate)
          for margin, rate in sorted(result.margins.items())],
-        title=f"fleet guardband failure ({spec.n_modules} modules, "
+        title=f"fleet guardband failure ({spec.n_modules} "
+              f"{'+'.join(spec.protocols)} modules, "
               f"{result.resumed_shards}/{result.n_shards} shards resumed)",
     ))
     dip = summary["worst_dip"]
@@ -920,6 +965,12 @@ def _cmd_store(args: argparse.Namespace) -> int:
             title=f"result store {stats['path']} "
                   f"({stats['payload_bytes']:,} payload bytes)",
         ))
+        if stats["per_protocol"]:
+            print(format_table(
+                ["protocol", "entries"],
+                sorted(stats["per_protocol"].items()),
+                title="entries per DRAM protocol",
+            ))
         return 0
     if args.store_command == "prune":
         if args.kind is None and args.older_than is None:
@@ -937,6 +988,12 @@ def _cmd_store(args: argparse.Namespace) -> int:
         scope = args.kind if args.kind else "all kinds"
         print(f"pruned {pruned} {scope} entries; store now holds "
               f"{stats['entries']} entries")
+        if stats["per_protocol"]:
+            remaining = ", ".join(
+                f"{protocol}={count}"
+                for protocol, count in stats["per_protocol"].items()
+            )
+            print(f"remaining by protocol: {remaining}")
         return 0
     raise AssertionError(
         f"unhandled store command {args.store_command}"
@@ -1091,6 +1148,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _dispatch(args: argparse.Namespace) -> int:
+    _apply_timing_check(args)
     if args.command == "devices":
         return _cmd_devices()
     if args.command == "measure":

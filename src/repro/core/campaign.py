@@ -281,6 +281,12 @@ class Campaign:
         self._set_temperature = set_temperature or module.set_temperature
         self._meter = FastRdtMeter(module, bank)
 
+    @property
+    def protocol(self) -> str:
+        """DRAM protocol of the device under test (``"DDR4"``,
+        ``"DDR5"``, or ``"HBM2"``)."""
+        return self.module.protocol
+
     def run(self, rows: Iterable[int]) -> CampaignResult:
         """Measure every (row, configuration) pair on the default bank."""
         return self.run_pairs((self.bank, row) for row in rows)

@@ -363,6 +363,7 @@ class CampaignEngine:
                     configs=self.configs,
                     n_measurements=self.n_measurements,
                     pairs=pairs,
+                    protocol=protocol_of(self.module_id),
                 )
                 cached = self.cache.load(cache_key)
                 if cached is not None:
@@ -420,6 +421,7 @@ class CampaignEngine:
                     pairs=pairs,
                     schedule="adaptive",
                     adaptive=self.adaptive,
+                    protocol=protocol_of(self.module_id),
                 )
                 cached = self.cache.load_adaptive(cache_key)
                 if cached is not None:
@@ -520,6 +522,18 @@ class CampaignEngine:
 # ----------------------------------------------------------------------
 
 
+def protocol_of(module_id: str) -> Optional[str]:
+    """The catalog device's DRAM protocol, or ``None`` for ids outside
+    the catalog (ad-hoc test modules key protocol-neutrally)."""
+    from repro.chips.catalog import spec
+    from repro.errors import ReproError
+
+    try:
+        return spec(module_id).protocol
+    except ReproError:
+        return None
+
+
 class CampaignCache:
     """Content-addressed campaign cache over the shared sqlite store.
 
@@ -586,6 +600,7 @@ class CampaignCache:
         extra: Optional[dict] = None,
         schedule: str = "exhaustive",
         adaptive: Optional[AdaptiveConfig] = None,
+        protocol: Optional[str] = None,
     ) -> str:
         """Hex digest addressing one campaign's full recipe.
 
@@ -599,6 +614,11 @@ class CampaignCache:
         confidence, precision, grid-refinement ceiling) are part of the
         recipe: an adaptive run and an exhaustive run over the same rows
         measure different things and must never alias to one entry.
+
+        ``protocol`` names the device's DRAM protocol (``"DDR4"``,
+        ``"DDR5"``, ``"HBM2"``) so same-shaped campaigns on different
+        protocols never alias; ``None`` omits it from the payload,
+        leaving every pre-existing key unchanged.
         """
         if adaptive is not None and schedule != "adaptive":
             raise ConfigurationError(
@@ -618,6 +638,8 @@ class CampaignCache:
             "schedule": schedule,
             "adaptive": None if adaptive is None else adaptive.to_dict(),
         }
+        if protocol is not None:
+            payload["protocol"] = str(protocol)
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.blake2b(blob.encode("utf-8"), digest_size=16).hexdigest()
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 
 class CommandKind(enum.Enum):
@@ -20,6 +20,9 @@ class CommandKind(enum.Enum):
     RD = "RD"
     WR = "WR"
     REF = "REF"
+    #: Same-bank refresh (DDR5 REFsb, HBM2 single-bank refresh): refreshes
+    #: one bank while the rest of the rank stays available.
+    REFSB = "REFSB"
     #: Refresh-management command (DDR5); issued by PRAC/MINT style
     #: mitigations to give the DRAM time for preventive refreshes.
     RFM = "RFM"
@@ -60,3 +63,290 @@ class Command:
             parts.append(f"c{self.column}")
         parts.append(f"@ {self.issued_at:.1f}ns")
         return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class CommandBurst:
+    """``count`` same-kind commands at a uniform ``step`` cadence.
+
+    The interpreter's column sweeps (128 RD/WR commands per row access)
+    are logged as one burst instead of 128 :class:`Command` objects: the
+    uniform spacing means a checker can validate the whole burst with a
+    constant number of comparisons (the first command against history,
+    the internal ``step`` against same-kind cadence rules).
+    """
+
+    kind: CommandKind
+    start: float
+    step: float
+    count: int
+    bank: Optional[int] = None
+    row: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"burst needs >= 1 command, got {self.count}")
+        if self.count > 1 and self.step <= 0:
+            raise ValueError("multi-command bursts need a positive step")
+
+    @property
+    def n_commands(self) -> int:
+        return self.count
+
+    @property
+    def last_at(self) -> float:
+        return self.start + (self.count - 1) * self.step
+
+    def expand(self) -> Iterator[Command]:
+        for i in range(self.count):
+            yield Command(
+                self.kind, self.start + i * self.step,
+                bank=self.bank, row=self.row,
+                column=i if self.count > 1 else None,
+            )
+
+
+@dataclass(frozen=True)
+class HammerBlock:
+    """A hammer loop's ACT/PRE stream in closed periodic form.
+
+    ``count`` rounds over ``rows``; activation ``i`` (cycling the rows)
+    opens at ``first_act + i * (t_on + t_pre)`` and precharges ``t_on``
+    later. Recording the loop this way keeps checker-on runs O(rows)
+    per loop — the same complexity class as ``Bank.bulk_hammer`` itself —
+    instead of expanding ``2 * count * len(rows)`` commands.
+    """
+
+    bank: int
+    rows: Tuple[int, ...]
+    count: int
+    t_on: float
+    t_pre: float
+    first_act: float
+
+    def __post_init__(self) -> None:
+        if self.count < 1 or not self.rows:
+            raise ValueError("hammer block needs >= 1 round over >= 1 row")
+        if self.t_on <= 0 or self.t_pre <= 0:
+            raise ValueError("hammer block needs positive t_on and t_pre")
+
+    @property
+    def period(self) -> float:
+        return self.t_on + self.t_pre
+
+    @property
+    def total_activations(self) -> int:
+        return self.count * len(self.rows)
+
+    @property
+    def n_commands(self) -> int:
+        return 2 * self.total_activations
+
+    @property
+    def last_precharge(self) -> float:
+        return self.first_act + (
+            self.total_activations - 1
+        ) * self.period + self.t_on
+
+    def expand(self) -> Iterator[Command]:
+        for i in range(self.total_activations):
+            act_at = self.first_act + i * self.period
+            row = self.rows[i % len(self.rows)]
+            yield Command(CommandKind.ACT, act_at, bank=self.bank, row=row)
+            yield Command(CommandKind.PRE, act_at + self.t_on, bank=self.bank)
+
+
+@dataclass(frozen=True)
+class RepeatBlock:
+    """A time-shifted repeat of an earlier slice of the same log.
+
+    The compiled Bender replay certifies a trial plan's command stream
+    once (one fully fed, fully validated template) and records each later
+    identical replay as a single RepeatBlock: the ``n_entries`` log
+    entries starting at ``first_entry`` re-issued ``dt`` later. The log
+    stays complete and serializable — :meth:`CommandLog.iter_commands`
+    expands the referenced slice with the shift applied — while
+    checker-on measurement sweeps stay O(1) per trial. The referenced
+    slice must not itself contain a RepeatBlock.
+    """
+
+    first_entry: int
+    n_entries: int
+    dt: float
+    n_commands: int
+
+    def __post_init__(self) -> None:
+        if self.first_entry < 0 or self.n_entries < 1:
+            raise ValueError("repeat block needs a valid entry slice")
+        if self.n_commands < 1:
+            raise ValueError("repeat block needs >= 1 command")
+
+
+#: Anything a :class:`CommandLog` holds.
+LogEntry = Union[Command, CommandBurst, HammerBlock, RepeatBlock]
+
+
+class CommandLog:
+    """An append-only, compression-aware command stream.
+
+    Single commands, uniform bursts, and hammer blocks share one logical
+    index space: entry expansion order defines command indices, which is
+    what checker violations report. The log is what both Bender execution
+    paths and the memory-system simulator hand to the
+    :class:`~repro.dram.checker.TimingChecker`.
+    """
+
+    def __init__(self, entries: Optional[Iterable[LogEntry]] = None):
+        self.entries: List[LogEntry] = []
+        self._n_commands = 0
+        if entries:
+            for entry in entries:
+                self.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def n_commands(self) -> int:
+        """Total logical commands (bursts and hammer loops expanded)."""
+        return self._n_commands
+
+    def append(self, entry: LogEntry) -> None:
+        self.entries.append(entry)
+        self._n_commands += getattr(entry, "n_commands", 1)
+
+    def command(
+        self,
+        kind: CommandKind,
+        at: float,
+        bank: Optional[int] = None,
+        row: Optional[int] = None,
+    ) -> None:
+        self.append(Command(kind, at, bank=bank, row=row))
+
+    def burst(
+        self,
+        kind: CommandKind,
+        start: float,
+        step: float,
+        count: int,
+        bank: Optional[int] = None,
+        row: Optional[int] = None,
+    ) -> None:
+        self.append(CommandBurst(kind, start, step, count, bank=bank, row=row))
+
+    def hammer(
+        self,
+        bank: int,
+        rows: Iterable[int],
+        count: int,
+        t_on: float,
+        t_pre: float,
+        first_act: float,
+    ) -> None:
+        self.append(
+            HammerBlock(bank, tuple(rows), count, t_on, t_pre, first_act)
+        )
+
+    def iter_commands(self) -> Iterator[Command]:
+        """Expand every entry into individual commands, in issue order."""
+        for entry in self.entries:
+            if isinstance(entry, Command):
+                yield entry
+            elif isinstance(entry, RepeatBlock):
+                yield from self.expand_repeat(entry)
+            else:
+                yield from entry.expand()
+
+    def expand_repeat(self, block: RepeatBlock) -> Iterator[Command]:
+        """Expand a repeat entry against this log's referenced slice."""
+        stop = block.first_entry + block.n_entries
+        if stop > len(self.entries):
+            raise ValueError("repeat block references beyond the log")
+        for entry in self.entries[block.first_entry:stop]:
+            if isinstance(entry, Command):
+                yield Command(
+                    entry.kind, entry.issued_at + block.dt,
+                    bank=entry.bank, row=entry.row, column=entry.column,
+                )
+            elif isinstance(entry, CommandBurst):
+                yield from CommandBurst(
+                    entry.kind, entry.start + block.dt, entry.step,
+                    entry.count, bank=entry.bank, row=entry.row,
+                ).expand()
+            elif isinstance(entry, HammerBlock):
+                yield from HammerBlock(
+                    entry.bank, entry.rows, entry.count, entry.t_on,
+                    entry.t_pre, entry.first_act + block.dt,
+                ).expand()
+            else:
+                raise ValueError("repeat blocks must not nest")
+
+    # -- serialization (golden conformance corpora) --------------------
+
+    def to_payload(self) -> list:
+        """Plain-JSON form, one object per entry."""
+        payload = []
+        for entry in self.entries:
+            if isinstance(entry, Command):
+                item = {"cmd": entry.kind.value, "at": entry.issued_at}
+                if entry.bank is not None:
+                    item["bank"] = entry.bank
+                if entry.row is not None:
+                    item["row"] = entry.row
+            elif isinstance(entry, CommandBurst):
+                item = {
+                    "burst": entry.kind.value,
+                    "at": entry.start,
+                    "step": entry.step,
+                    "count": entry.count,
+                }
+                if entry.bank is not None:
+                    item["bank"] = entry.bank
+                if entry.row is not None:
+                    item["row"] = entry.row
+            elif isinstance(entry, HammerBlock):
+                item = {
+                    "hammer": list(entry.rows),
+                    "bank": entry.bank,
+                    "count": entry.count,
+                    "t_on": entry.t_on,
+                    "t_pre": entry.t_pre,
+                    "at": entry.first_act,
+                }
+            else:
+                item = {
+                    "repeat": entry.first_entry,
+                    "entries": entry.n_entries,
+                    "dt": entry.dt,
+                    "commands": entry.n_commands,
+                }
+            payload.append(item)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Iterable[dict]) -> "CommandLog":
+        log = cls()
+        for item in payload:
+            if "cmd" in item:
+                log.command(
+                    CommandKind(item["cmd"]), item["at"],
+                    bank=item.get("bank"), row=item.get("row"),
+                )
+            elif "burst" in item:
+                log.burst(
+                    CommandKind(item["burst"]), item["at"], item["step"],
+                    item["count"], bank=item.get("bank"),
+                    row=item.get("row"),
+                )
+            elif "hammer" in item:
+                log.hammer(
+                    item["bank"], item["hammer"], item["count"],
+                    item["t_on"], item["t_pre"], item["at"],
+                )
+            else:
+                log.append(RepeatBlock(
+                    item["repeat"], item["entries"], item["dt"],
+                    item["commands"],
+                ))
+        return log

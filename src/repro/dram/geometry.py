@@ -12,6 +12,11 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 
+#: Protocols the device layer models. DDR4 follows JESD79-4C, DDR5 adds
+#: same-bank refresh and refresh management (JESD79-5), HBM2 splits each
+#: channel into pseudo channels (JESD235D).
+PROTOCOLS = ("DDR4", "DDR5", "HBM2")
+
 
 @dataclass(frozen=True)
 class DramGeometry:
@@ -29,6 +34,18 @@ class DramGeometry:
         n_ranks: Ranks on the module (characterization uses one).
         burst_bits: Bits transferred per chip per column access (x8 chip with
             BL8: 64). Only used by command-count arithmetic.
+        protocol: Declared protocol family (``"DDR4"``, ``"DDR5"``, or
+            ``"HBM2"``); selects the timing-rule table the
+            :class:`~repro.dram.checker.TimingChecker` validates against.
+        n_bank_groups: Bank groups per rank. Banks are grouped
+            contiguously: group ``g`` holds banks
+            ``[g * banks_per_group, (g + 1) * banks_per_group)``. The
+            default of 1 (no grouping) keeps small test geometries valid;
+            catalog builds declare the real topology (DDR4 x8: 4 groups).
+        n_pseudo_channels: HBM2 pseudo channels per channel (1 for DDR4/
+            DDR5). Banks split contiguously across pseudo channels, which
+            are independent timing domains for rank-scope rules (tFAW,
+            tRFC).
     """
 
     n_banks: int = 16
@@ -37,6 +54,9 @@ class DramGeometry:
     n_chips: int = 8
     n_ranks: int = 1
     burst_bits: int = 64
+    protocol: str = "DDR4"
+    n_bank_groups: int = 1
+    n_pseudo_channels: int = 1
 
     def __post_init__(self) -> None:
         for name in (
@@ -46,6 +66,8 @@ class DramGeometry:
             "n_chips",
             "n_ranks",
             "burst_bits",
+            "n_bank_groups",
+            "n_pseudo_channels",
         ):
             value = getattr(self, name)
             if not isinstance(value, int) or value <= 0:
@@ -56,6 +78,32 @@ class DramGeometry:
             raise ConfigurationError(
                 "row_bits_per_chip must be a multiple of 8 "
                 f"(got {self.row_bits_per_chip})"
+            )
+        if self.protocol not in PROTOCOLS:
+            raise ConfigurationError(
+                f"unknown protocol {self.protocol!r}; expected one of "
+                f"{PROTOCOLS}"
+            )
+        # Small test geometries may have fewer banks than the default four
+        # groups; clamp-free rule: groups must tile the banks evenly.
+        if self.n_bank_groups > self.n_banks or (
+            self.n_banks % self.n_bank_groups
+        ):
+            raise ConfigurationError(
+                f"{self.n_bank_groups} bank groups cannot tile "
+                f"{self.n_banks} banks evenly"
+            )
+        if self.n_pseudo_channels > self.n_banks or (
+            self.n_banks % self.n_pseudo_channels
+        ):
+            raise ConfigurationError(
+                f"{self.n_pseudo_channels} pseudo channels cannot tile "
+                f"{self.n_banks} banks evenly"
+            )
+        if self.n_pseudo_channels > 1 and self.protocol != "HBM2":
+            raise ConfigurationError(
+                "pseudo channels are an HBM2 feature "
+                f"(protocol is {self.protocol!r})"
             )
 
     @property
@@ -89,6 +137,32 @@ class DramGeometry:
                 f"bit index {bit_index} out of range for {self.row_bits}-bit row"
             )
         return (bit_index // 8) % self.n_chips
+
+    @property
+    def banks_per_group(self) -> int:
+        """Banks in one bank group (contiguous grouping)."""
+        return self.n_banks // self.n_bank_groups
+
+    @property
+    def banks_per_pseudo_channel(self) -> int:
+        """Banks in one pseudo channel (contiguous split)."""
+        return self.n_banks // self.n_pseudo_channels
+
+    def bank_group_of(self, bank: int) -> int:
+        """The bank group a bank belongs to."""
+        if not 0 <= bank < self.n_banks:
+            raise ConfigurationError(
+                f"bank {bank} out of range [0, {self.n_banks})"
+            )
+        return bank // self.banks_per_group
+
+    def pseudo_channel_of(self, bank: int) -> int:
+        """The pseudo channel a bank belongs to (always 0 off-HBM2)."""
+        if not 0 <= bank < self.n_banks:
+            raise ConfigurationError(
+                f"bank {bank} out of range [0, {self.n_banks})"
+            )
+        return bank // self.banks_per_pseudo_channel
 
     def validate_address(self, bank: int, row: int) -> None:
         """Raise :class:`~repro.errors.AddressError` on an invalid address."""

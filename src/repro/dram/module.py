@@ -94,7 +94,7 @@ class _TrrSampler:
 
 
 class DramModule:
-    """One simulated DDR4 module or HBM2 chip."""
+    """One simulated DDR4/DDR5 module or HBM2 chip."""
 
     def __init__(
         self,
@@ -108,7 +108,7 @@ class DramModule:
         seed: int = DEFAULT_SEED,
         rows_per_refresh: Optional[int] = None,
     ):
-        if kind not in ("DDR4", "HBM2"):
+        if kind not in ("DDR4", "DDR5", "HBM2"):
             raise ConfigurationError(f"unknown module kind {kind!r}")
         self.module_id = module_id
         self.kind = kind
@@ -119,6 +119,11 @@ class DramModule:
         self.seed = seed
         self.temperature: float = 50.0
         self.refresh_enabled: bool = True
+        if geometry is not None and geometry.protocol != kind:
+            raise ConfigurationError(
+                f"module kind {kind!r} disagrees with geometry protocol "
+                f"{geometry.protocol!r}"
+            )
 
         params = vrd_params or VrdModelParams()
         true_lookup = self.cell_layout.bit_is_true_cell
@@ -151,6 +156,12 @@ class DramModule:
         )
         self._refresh_pointer = 0
         self._trr = _TrrSampler()
+
+    @property
+    def protocol(self) -> str:
+        """DRAM protocol of this module (alias of :attr:`kind`, matching
+        :attr:`repro.chips.catalog.ModuleSpec.protocol`)."""
+        return self.kind
 
     # ------------------------------------------------------------------
     # Command interface

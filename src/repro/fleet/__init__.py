@@ -25,11 +25,13 @@ from repro.fleet.agg import (
     Tally,
 )
 from repro.fleet.population import (
+    DEFAULT_PROTOCOLS,
     REGIONS,
     WORKLOADS,
     FleetSpec,
     ModuleAssignment,
     assignment,
+    device_pool,
     iter_assignments,
 )
 from repro.fleet.runner import (
@@ -56,11 +58,13 @@ __all__ = [
     "Tally",
     "Log2Histogram",
     "QuantileSketch",
+    "DEFAULT_PROTOCOLS",
     "REGIONS",
     "WORKLOADS",
     "FleetSpec",
     "ModuleAssignment",
     "assignment",
+    "device_pool",
     "iter_assignments",
     "FleetAggregator",
     "ModuleStats",

@@ -22,22 +22,39 @@ import math
 from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple
 
-from repro.chips.catalog import ALL_SPECS
+from repro.chips.catalog import ALL_SPECS, EXTENDED_SPECS
+from repro.dram.geometry import PROTOCOLS
 from repro.errors import ConfigurationError
 from repro.rng import DEFAULT_SEED, child_seed, derive
 
 __all__ = [
+    "DEFAULT_PROTOCOLS",
     "REGIONS",
     "WORKLOADS",
     "FleetSpec",
     "ModuleAssignment",
     "assignment",
+    "device_pool",
     "iter_assignments",
 ]
 
-#: Catalog devices a fleet samples from (all compact builds share the
-#: 4-bank x 4096-row geometry, so row sampling is device-independent).
+#: Catalog devices a default fleet samples from (all compact builds share
+#: the 4-bank x 4096-row geometry, so row sampling is device-independent).
 CATALOG_IDS: Tuple[str, ...] = tuple(s.module_id for s in ALL_SPECS)
+
+#: Protocols of the historical catalog. A spec restricted to these draws
+#: from exactly :data:`CATALOG_IDS` in order, keeping every pre-existing
+#: fleet digest, checkpoint, and RNG stream bit-identical.
+DEFAULT_PROTOCOLS: Tuple[str, ...] = ("DDR4", "HBM2")
+
+
+def device_pool(protocols: Tuple[str, ...]) -> Tuple[str, ...]:
+    """Catalog module ids whose protocol is in ``protocols``, in the
+    frozen :data:`repro.chips.catalog.EXTENDED_SPECS` order (fleet RNG
+    draws index into this tuple, so the order is part of the recipe)."""
+    return tuple(
+        s.module_id for s in EXTENDED_SPECS if s.protocol in protocols
+    )
 
 #: Rows per bank in the compact catalog geometry.
 _COMPACT_ROWS = 1 << 12
@@ -82,8 +99,26 @@ class FleetSpec:
     pattern: str = "checkered0"
     guardband_margin: float = 0.30
     shard_size: int = 256
+    #: Protocols the population draws devices from. The default is the
+    #: historical DDR4+HBM2 catalog; adding "DDR5" widens the pool to the
+    #: projected DDR5 devices. Non-default values enter the payload and
+    #: digest, so default-spec checkpoints keep their keys.
+    protocols: Tuple[str, ...] = DEFAULT_PROTOCOLS
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "protocols", tuple(self.protocols))
+        if not self.protocols:
+            raise ConfigurationError("fleet needs at least one protocol")
+        for protocol in self.protocols:
+            if protocol not in PROTOCOLS:
+                raise ConfigurationError(
+                    f"unknown protocol {protocol!r} (choose from "
+                    f"{', '.join(PROTOCOLS)})"
+                )
+        if not device_pool(self.protocols):
+            raise ConfigurationError(
+                f"no catalog devices for protocols {self.protocols!r}"
+            )
         if self.n_modules < 1:
             raise ConfigurationError(
                 f"fleet needs >= 1 module, got {self.n_modules}"
@@ -108,8 +143,13 @@ class FleetSpec:
                 f"shard size must be >= 1, got {self.shard_size}"
             )
 
+    @property
+    def device_pool(self) -> Tuple[str, ...]:
+        """Module ids this fleet samples from (see :func:`device_pool`)."""
+        return device_pool(self.protocols)
+
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "n_modules": self.n_modules,
             "seed": self.seed,
             "rows_per_module": self.rows_per_module,
@@ -118,13 +158,22 @@ class FleetSpec:
             "guardband_margin": self.guardband_margin,
             "shard_size": self.shard_size,
         }
+        # Only non-default protocol sets enter the payload (and therefore
+        # the digest): every pre-existing spec keeps its key.
+        if self.protocols != DEFAULT_PROTOCOLS:
+            payload["protocols"] = list(self.protocols)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "FleetSpec":
-        return cls(**{key: payload[key] for key in (
+        kwargs = {key: payload[key] for key in (
             "n_modules", "seed", "rows_per_module", "n_measurements",
             "pattern", "guardband_margin", "shard_size",
-        )})
+        )}
+        kwargs["protocols"] = tuple(
+            payload.get("protocols", DEFAULT_PROTOCOLS)
+        )
+        return cls(**kwargs)
 
     def digest(self) -> str:
         """Content key of this fleet recipe (checkpoint key prefix)."""
@@ -156,7 +205,8 @@ def assignment(spec: FleetSpec, index: int) -> ModuleAssignment:
             f"module index {index} outside fleet of {spec.n_modules}"
         )
     rng = derive(spec.seed, "fleet", "assign", index)
-    device = CATALOG_IDS[int(rng.integers(len(CATALOG_IDS)))]
+    pool = spec.device_pool
+    device = pool[int(rng.integers(len(pool)))]
     region, base_temp, amplitude = REGIONS[int(rng.integers(len(REGIONS)))]
     hour = float(rng.uniform(0.0, 24.0))
     temperature = base_temp + amplitude * math.sin(2.0 * math.pi * hour / 24.0)

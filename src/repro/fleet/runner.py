@@ -40,6 +40,7 @@ from repro.chips import build_module
 from repro.dram.faults import Condition
 from repro.errors import ConfigurationError
 from repro.fleet.population import (
+    DEFAULT_PROTOCOLS,
     FleetSpec,
     ModuleAssignment,
     iter_assignments,
@@ -181,7 +182,17 @@ def shard_plan(spec: FleetSpec) -> List[Tuple[int, int]]:
 
 
 def shard_key(spec: FleetSpec, start: int, stop: int) -> str:
-    """Store key of one shard checkpoint under ``kind="fleet"``."""
+    """Store key of one shard checkpoint under ``kind="fleet"``.
+
+    Non-default protocol sets carry a readable protocol tag, so a DDR5
+    run and a default run of the same shape can never alias — and
+    ``store prune``/``store stats`` can attribute entries by protocol
+    without decoding payloads. Default specs keep the historical
+    untagged key, preserving every existing checkpoint.
+    """
+    if spec.protocols != DEFAULT_PROTOCOLS:
+        tag = "+".join(p.lower() for p in spec.protocols)
+        return f"fleet:{tag}:{spec.digest()}:{start}:{stop}"
     return f"fleet:{spec.digest()}:{start}:{stop}"
 
 

@@ -33,6 +33,50 @@ _T_RFC = 295.0
 _T_REFI = 3_900.0
 _T_REFW = 32_000_000.0
 
+#: The model only schedules bank-level row cycling and the rank-level
+#: refresh cadence, so the opt-in timing check validates exactly those
+#: rules. tRRD/tFAW/column cadences are outside this simulator's
+#: contract, and so is tRFC recovery: the loop applies refresh stalls to
+#: the request start *before* the row-cycle adjustment, so an ACT pushed
+#: by tRP/tRC can land inside a refresh period by design.
+_CHECKED_RULES = ("tRC", "tRAS", "tRP", "tREFI")
+
+
+def _checker_for(config: "SystemConfig"):
+    """A TimingChecker over the loop's DDR5-class constants."""
+    from repro.dram.checker import TimingChecker
+    from repro.dram.geometry import DramGeometry
+    from repro.dram.timing import TimingParams
+
+    timing = TimingParams(
+        name="memsim-DDR5",
+        data_rate_mts=8800,
+        tRCD=_T_RCD,
+        tRP=_T_RP,
+        tRAS=_T_RC - _T_RP,
+        tRTP=7.5,
+        tWR=30.0,
+        tCCD_L=5.0,
+        tCCD_S=1.816,
+        tCCD_L_WR=20.0,
+        tRRD_S=1.816,
+        tREFI=_T_REFI,
+        tREFW=_T_REFW,
+        tRFC=_T_RFC,
+        protocol="DDR5",
+    )
+    geometry = DramGeometry(
+        n_banks=config.n_banks, n_rows=config.n_rows, protocol="DDR5"
+    )
+    return TimingChecker(
+        timing=timing, geometry=geometry, rule_names=_CHECKED_RULES
+    )
+
+
+def _feed(checker, entry) -> None:
+    if checker.feed(entry):
+        checker.report.raise_if_violations()
+
 
 @dataclass
 class SystemConfig:
@@ -48,6 +92,10 @@ class SystemConfig:
     #: Mitigation tracking-window period (tREFW). Overridable so tests can
     #: exercise window-boundary behavior without 32 ms simulations.
     t_refw_ns: float = _T_REFW
+    #: Opt-in timing-check pass: validate the synthesized ACT/PRE/REF
+    #: stream against the loop's DDR5-class timing rules. ``False`` still
+    #: honors ``VRD_TIMING_CHECK=1`` in the environment.
+    check_timing: bool = False
 
     def __post_init__(self) -> None:
         if self.n_banks < 1 or self.n_rows < 2:
@@ -179,6 +227,14 @@ class MemorySystem:
         next_ref = _T_REFI if config.refresh_enabled else float("inf")
         next_window = config.t_refw_ns
 
+        from repro.dram.checker import timing_check_enabled
+
+        checker = None
+        if timing_check_enabled(True if config.check_timing else None):
+            from repro.dram.commands import Command, CommandKind
+
+            checker = _checker_for(config)
+
         while True:
             core = min(range(4), key=lambda c: arrivals[c])
             arrival = arrivals[core]
@@ -194,6 +250,8 @@ class MemorySystem:
                 ref_end = next_ref + _T_RFC
                 if start < ref_end:
                     start = ref_end
+                if checker is not None:
+                    _feed(checker, Command(CommandKind.REF, next_ref))
                 next_ref += _T_REFI
             # Tracking-window boundary for the mitigation.
             if self.mitigation is not None and start >= next_window:
@@ -209,6 +267,16 @@ class MemorySystem:
                 if bank.open_row is not None:
                     start += _T_RP
                 start = max(start, bank.last_act + _T_RC)
+                if checker is not None:
+                    # Closing an open row precharges exactly tRP before
+                    # the new activation (tRAS then holds via tRC - tRP).
+                    if bank.open_row is not None:
+                        _feed(checker, Command(
+                            CommandKind.PRE, start - _T_RP, bank=bank_index
+                        ))
+                    _feed(checker, Command(
+                        CommandKind.ACT, start, bank=bank_index, row=row
+                    ))
                 bank.last_act = start
                 access_latency = _T_RCD + _T_CL
             else:
@@ -272,7 +340,17 @@ class MemorySystem:
         (``tests/memsim/test_fastcore.py`` asserts this across the Fig. 14
         grid). Like :meth:`run`, it consumes the system's address streams,
         so each :class:`MemorySystem` instance should be run once.
+
+        With timing checking requested, the reference engine runs
+        instead: the fast core is bit-identical but synthesizes no
+        command stream for the checker to validate.
         """
+        from repro.dram.checker import timing_check_enabled
+
+        if timing_check_enabled(
+            True if self.config.check_timing else None
+        ):
+            return self.run()
         from repro.memsim.fastcore import run_fast
 
         return run_fast(self)

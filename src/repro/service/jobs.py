@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core.adaptive import AdaptiveConfig
 from repro.core.config import TestConfig
+from repro.core.engine import protocol_of
 from repro.core.store import config_from_dict
 from repro.errors import ConfigurationError, MeasurementError
 from repro.memsim.sweep import SweepSpec
@@ -136,6 +137,7 @@ def parse_request(payload: dict, cache) -> JobSpec:
             seed=seed, module_id=module_id, configs=list(configs),
             n_measurements=n_measurements, pairs=list(pairs),
             schedule="adaptive", adaptive=adaptive,
+            protocol=protocol_of(module_id),
         )
         return JobSpec(
             kind=kind, key=key, module_id=module_id, seed=seed,
@@ -146,6 +148,7 @@ def parse_request(payload: dict, cache) -> JobSpec:
     key = cache.key(
         seed=seed, module_id=module_id, configs=list(configs),
         n_measurements=n_measurements, pairs=list(pairs),
+        protocol=protocol_of(module_id),
     )
     return JobSpec(
         kind=kind, key=key, module_id=module_id, seed=seed,

@@ -401,7 +401,12 @@ class ResultStore:
         return int(row[0])
 
     def stats(self) -> Dict[str, object]:
-        """Entry counts per kind plus total payload bytes."""
+        """Entry counts per kind plus total payload bytes.
+
+        The ``per_protocol`` map attributes every entry to a DRAM
+        protocol (see :meth:`protocol_breakdown`), so ``store stats``
+        can show which protocols a shared cache actually holds.
+        """
         per_kind: Dict[str, int] = {}
         total_bytes = 0
         if self.path.exists():
@@ -419,7 +424,67 @@ class ResultStore:
             "entries": sum(per_kind.values()),
             "per_kind": per_kind,
             "payload_bytes": total_bytes,
+            "per_protocol": self.protocol_breakdown(),
         }
+
+    def protocol_breakdown(self) -> Dict[str, int]:
+        """Entry counts per DRAM protocol, best-effort.
+
+        Attribution per kind:
+
+        * ``campaign``/``adaptive`` — the payload's ``module_id``
+          resolved through the device catalog;
+        * ``fleet`` — the checkpoint spec's ``protocols`` tuple (its
+          absence means the historical DDR4+HBM2 pool), labelled e.g.
+          ``"DDR4+HBM2"``;
+        * ``sweep`` — ``"DDR5"`` (the memory-system model's substrate).
+
+        Entries that cannot be attributed (non-catalog module ids,
+        undecodable payloads) count under ``"unknown"``.
+        """
+        if not self.path.exists():
+            return {}
+        rows = self._with_retry(
+            lambda conn: conn.execute(
+                "SELECT kind, payload FROM results"
+            ).fetchall()
+        )
+        counts: Dict[str, int] = {}
+        for kind, blob in rows:
+            label = self._protocol_of_entry(kind, blob)
+            counts[label] = counts.get(label, 0) + 1
+        return dict(sorted(counts.items()))
+
+    @staticmethod
+    def _protocol_of_entry(kind: str, blob: bytes) -> str:
+        if kind == KIND_SWEEP:
+            return "DDR5"
+        try:
+            payload = json.loads(blob)
+        except (ValueError, TypeError, UnicodeDecodeError):
+            return "unknown"
+        if not isinstance(payload, dict):
+            return "unknown"
+        if kind == KIND_FLEET:
+            spec = payload.get("spec")
+            if not isinstance(spec, dict):
+                return "unknown"
+            protocols = spec.get("protocols", ["DDR4", "HBM2"])
+            if not isinstance(protocols, (list, tuple)) or not protocols:
+                return "unknown"
+            return "+".join(str(p) for p in protocols)
+        module_id = payload.get("module_id")
+        if not isinstance(module_id, str):
+            return "unknown"
+        # Lazy import: the catalog pulls numpy, which the store layer
+        # itself never needs.
+        from repro.chips.catalog import spec as catalog_spec
+        from repro.errors import ReproError
+
+        try:
+            return catalog_spec(module_id).protocol
+        except ReproError:
+            return "unknown"
 
     # -- writes --------------------------------------------------------
 

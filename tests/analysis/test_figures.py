@@ -35,3 +35,20 @@ def test_module_campaign_small():
 def test_campaigns_for_multiple_modules():
     results = campaigns_for(["M0", "S4"], rows_per_block=1, n_measurements=100)
     assert set(results) == {"M0", "S4"}
+
+
+def test_cross_protocol_campaigns_cover_every_protocol():
+    from repro.analysis.figures import (
+        PROTOCOL_REPRESENTATIVES,
+        cross_protocol_campaigns,
+    )
+    from repro.errors import ConfigurationError
+
+    results = cross_protocol_campaigns(rows_per_block=1, n_measurements=100)
+    assert set(results) == {"DDR4", "DDR5", "HBM2"}
+    for protocol, result in results.items():
+        assert result.module_id == PROTOCOL_REPRESENTATIVES[protocol]
+        assert spec(result.module_id).protocol == protocol
+        assert len(result) > 0
+    with pytest.raises(ConfigurationError):
+        cross_protocol_campaigns(("LPDDR4",))

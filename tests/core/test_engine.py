@@ -204,6 +204,7 @@ def test_cache_round_trip(tmp_path, serial_result):
             configs=engine.configs,
             n_measurements=N_MEASUREMENTS,
             pairs=[(0, row) for row in ROWS],
+            protocol="DDR4",
         )
     )
     reloaded = _engine(n_jobs=1, cache=cache).run(ROWS)
@@ -239,6 +240,8 @@ def test_cache_key_separates_every_recipe_axis():
         dict(extra={"driver": "x"}),
         dict(schedule="adaptive"),
         dict(schedule="adaptive", adaptive=AdaptiveConfig()),
+        dict(protocol="DDR4"),
+        dict(protocol="HBM2"),
     ):
         assert cache.key(**{**cache_key_kwargs, **change}) != base
 

@@ -22,6 +22,12 @@ adaptive            serial ``AdaptiveScheduler``        ``CampaignEngine`` adapt
 store               legacy file-per-entry caches        sqlite ``ResultStore`` shims
 fleet               ``run_fleet_naive`` (materialized)  ``run_fleet`` streamed (2 jobs)
 ==================  ==================================  =========================
+
+Cross-protocol variants rerun the fastfaults and bender pairs on catalog
+devices whose geometry exercises DDR5 bank groups (``D0``) and HBM2
+pseudo channels (``Chip0``); the ``checker-*`` pairs run the same
+workload with ``VRD_TIMING_CHECK=1`` forced on versus off, proving the
+opt-in timing validation pass never perturbs a single bit.
 """
 
 from __future__ import annotations
@@ -179,23 +185,93 @@ def fastfaults_fast(seed: int) -> tuple:
     return tuple(tuple(series.tolist()) for series in matrix)
 
 
+def _catalog_fault_workload(seed: int, module_id: str):
+    """Like :func:`_fault_workload` but on a catalog device, so the pair
+    runs under the device's real protocol geometry (DDR5 bank groups,
+    HBM2 pseudo channels)."""
+    from repro.chips import build_module
+    from repro.core import CHECKERED0, TestConfig
+
+    module = build_module(module_id, seed=seed)
+    module.disable_interference_sources()
+    pick = random.Random(seed + 7)
+    rows = sorted(pick.sample(range(module.geometry.n_rows), 4))
+    config = TestConfig(
+        CHECKERED0,
+        t_agg_on_ns=module.timing.tRAS,
+        temperature_c=pick.choice([50.0, 80.0]),
+    )
+    return module, rows, config.condition(module.timing)
+
+
+def _catalog_fault_series(seed: int, module_id: str, fast: bool) -> tuple:
+    module, rows, condition = _catalog_fault_workload(seed, module_id)
+    model = module.fault_model
+    if fast:
+        matrix = model.latent_series_bank(
+            0, rows, condition, _FAULT_SERIES_N
+        )
+        return tuple(tuple(series.tolist()) for series in matrix)
+    return tuple(
+        tuple(
+            model.process(0, row)
+            .latent_series(condition, _FAULT_SERIES_N)
+            .tolist()
+        )
+        for row in rows
+    )
+
+
+def fastfaults_ddr5_oracle(seed: int) -> tuple:
+    return _catalog_fault_series(seed, "D0", fast=False)
+
+
+def fastfaults_ddr5_fast(seed: int) -> tuple:
+    return _catalog_fault_series(seed, "D0", fast=True)
+
+
+def fastfaults_hbm2_oracle(seed: int) -> tuple:
+    return _catalog_fault_series(seed, "Chip0", fast=False)
+
+
+def fastfaults_hbm2_fast(seed: int) -> tuple:
+    return _catalog_fault_series(seed, "Chip0", fast=True)
+
+
 # ----------------------------------------------------------------------
 # bender: scalar interpreter trials vs compiled replay
 # ----------------------------------------------------------------------
 
-def _bender_trials(seed: int, compiled: bool) -> tuple:
-    from tests.conftest import make_module
+def _bender_trials(
+    seed: int, compiled: bool, module_id: "str | None" = None
+) -> tuple:
+    """Interpreter/compiled trial fingerprint.
 
+    ``module_id`` selects a catalog device (protocol, timing table, and
+    bank-group topology included); ``None`` keeps the small ad-hoc DDR4
+    module the original case was tuned for.
+    """
     from repro.bender.host import DramBender
     from repro.core import CHECKERED0, TestConfig
 
     pick = random.Random(seed + 3)
     victim = pick.randrange(50, 200)
-    # Straddle the small module's ~2000-activation mean RDT so some trials
-    # flip and some survive, with seed-dependent counts either way.
-    counts = sorted(pick.sample(range(500, 8000), 3)) + [12_000]
+    if module_id is None:
+        from tests.conftest import make_module
 
-    module = make_module(seed=seed)
+        # Straddle the small module's ~2000-activation mean RDT so some
+        # trials flip and some survive, with seed-dependent counts.
+        counts = sorted(pick.sample(range(500, 8000), 3)) + [12_000]
+        module = make_module(seed=seed)
+    else:
+        from repro.chips import build_module, spec
+
+        # Same idea, scaled to the device's catalog RDT floor.
+        floor = int(spec(module_id).min_rdt_tras)
+        counts = sorted(
+            pick.sample(range(floor // 3, floor + floor // 5), 3)
+        ) + [3 * floor]
+        module = build_module(module_id, seed=seed)
     module.disable_interference_sources()
     bender = DramBender(module)
     config = TestConfig(CHECKERED0, t_agg_on_ns=module.timing.tRAS)
@@ -217,6 +293,63 @@ def bender_oracle(seed: int) -> tuple:
 
 def bender_fast(seed: int) -> tuple:
     return _bender_trials(seed, compiled=True)
+
+
+def bender_ddr5_oracle(seed: int) -> tuple:
+    return _bender_trials(seed, compiled=False, module_id="D0")
+
+
+def bender_ddr5_fast(seed: int) -> tuple:
+    return _bender_trials(seed, compiled=True, module_id="D0")
+
+
+def bender_hbm2_oracle(seed: int) -> tuple:
+    return _bender_trials(seed, compiled=False, module_id="Chip0")
+
+
+def bender_hbm2_fast(seed: int) -> tuple:
+    return _bender_trials(seed, compiled=True, module_id="Chip0")
+
+
+# ----------------------------------------------------------------------
+# checker: timing validation on vs off must be invisible in results
+# ----------------------------------------------------------------------
+
+def _checked(workload: Callable[[int], tuple], seed: int) -> tuple:
+    """Run ``workload`` with ``VRD_TIMING_CHECK=1`` forced on — results
+    must match the unchecked run bit for bit (and legal streams must not
+    raise)."""
+    import os
+
+    from repro.dram.checker import TIMING_CHECK_ENV_VAR
+
+    previous = os.environ.get(TIMING_CHECK_ENV_VAR)
+    os.environ[TIMING_CHECK_ENV_VAR] = "1"
+    try:
+        return workload(seed)
+    finally:
+        if previous is None:
+            del os.environ[TIMING_CHECK_ENV_VAR]
+        else:
+            os.environ[TIMING_CHECK_ENV_VAR] = previous
+
+
+def checker_bender_oracle(seed: int) -> tuple:
+    return _bender_trials(seed, compiled=True, module_id="D0")
+
+
+def checker_bender_fast(seed: int) -> tuple:
+    return _checked(
+        lambda s: _bender_trials(s, compiled=True, module_id="D0"), seed
+    )
+
+
+def checker_memsim_oracle(seed: int) -> tuple:
+    return memsim_oracle(seed)
+
+
+def checker_memsim_fast(seed: int) -> tuple:
+    return _checked(memsim_oracle, seed)
 
 
 # ----------------------------------------------------------------------
@@ -478,7 +611,21 @@ CASES: List[DifferentialCase] = [
     DifferentialCase("engine", engine_oracle, engine_fast),
     DifferentialCase("memsim", memsim_oracle, memsim_fast),
     DifferentialCase("fastfaults", fastfaults_oracle, fastfaults_fast),
+    DifferentialCase(
+        "fastfaults-ddr5", fastfaults_ddr5_oracle, fastfaults_ddr5_fast
+    ),
+    DifferentialCase(
+        "fastfaults-hbm2", fastfaults_hbm2_oracle, fastfaults_hbm2_fast
+    ),
     DifferentialCase("bender", bender_oracle, bender_fast),
+    DifferentialCase("bender-ddr5", bender_ddr5_oracle, bender_ddr5_fast),
+    DifferentialCase("bender-hbm2", bender_hbm2_oracle, bender_hbm2_fast),
+    DifferentialCase(
+        "checker-bender", checker_bender_oracle, checker_bender_fast
+    ),
+    DifferentialCase(
+        "checker-memsim", checker_memsim_oracle, checker_memsim_fast
+    ),
     DifferentialCase("ecc", ecc_oracle, ecc_fast),
     DifferentialCase("adaptive", adaptive_oracle, adaptive_fast),
     DifferentialCase("store", store_oracle, store_fast),

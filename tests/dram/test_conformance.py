@@ -1,0 +1,83 @@
+"""Golden cross-protocol conformance suite for the TimingChecker.
+
+``tests/dram/conformance/`` holds one committed corpus per protocol:
+known-legal and known-illegal command streams (in the
+:meth:`~repro.dram.commands.CommandLog.to_payload` JSON form) with the
+checker's exact expected verdict — the full ordered list of
+``(index, rule)`` violations, empty for legal streams. Each protocol
+covers at least four timing rules with both a legal-boundary stream
+(gaps exactly at the JEDEC minimum never flag) and a violating stream.
+
+These pin the checker's observable behavior: any change to the rule
+tables, the scope resolution (bank groups, HBM2 pseudo channels), or
+the violation indexing shows up as a corpus diff here.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.dram.checker import check_log
+from repro.dram.commands import CommandLog
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import PRESETS, rule_table
+
+CORPUS_DIR = Path(__file__).parent / "conformance"
+
+
+def _corpora():
+    for path in sorted(CORPUS_DIR.glob("*.json")):
+        yield path.stem, json.loads(path.read_text())
+
+
+def _cases():
+    for stem, payload in _corpora():
+        for case in payload["cases"]:
+            yield pytest.param(payload, case, id=f"{stem}-{case['name']}")
+
+
+@pytest.mark.parametrize("payload,case", list(_cases()))
+def test_conformance_verdict(payload, case):
+    params = PRESETS[payload["preset"]]
+    geometry = DramGeometry(**payload["geometry"])
+    log = CommandLog.from_payload(case["stream"])
+    report = check_log(log, params, geometry=geometry)
+    got = [{"index": v.index, "rule": v.rule} for v in report.violations]
+    assert got == case["violations"], (
+        f"{payload['preset']} {case['name']}: expected "
+        f"{case['violations']}, checker said:\n{report.describe()}"
+    )
+    assert report.n_commands == log.n_commands
+
+
+def test_corpus_covers_every_protocol():
+    protocols = {payload["geometry"]["protocol"] for _, payload in _corpora()}
+    assert protocols == {"DDR4", "DDR5", "HBM2"}
+
+
+@pytest.mark.parametrize(
+    "stem,payload", list(_corpora()), ids=[s for s, _ in _corpora()]
+)
+def test_corpus_breadth(stem, payload):
+    """Each protocol corpus exercises >= 4 rules, each with a legal and
+    a violating stream, and every named rule exists in that protocol's
+    rule table."""
+    table = {rule.name for rule in rule_table(PRESETS[payload["preset"]])}
+    legal_rules = set()
+    violating_rules = set()
+    for case in payload["cases"]:
+        assert case["rule"] in table, (
+            f"{stem}: case {case['name']} names unknown rule {case['rule']}"
+        )
+        if case["violations"]:
+            violating_rules.update(v["rule"] for v in case["violations"])
+        else:
+            legal_rules.add(case["rule"])
+    both = legal_rules & violating_rules
+    assert len(both) >= 4, (
+        f"{stem}: only {sorted(both)} have both legal and violating "
+        "streams; need >= 4 rules"
+    )

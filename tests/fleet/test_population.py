@@ -76,3 +76,38 @@ def test_spec_validation():
         FleetSpec(n_modules=4, guardband_margin=1.0)
     with pytest.raises(ConfigurationError):
         FleetSpec(n_modules=4, shard_size=0)
+
+
+def test_default_protocols_keep_catalog_and_digest():
+    spec = FleetSpec(n_modules=100, seed=5)
+    assert spec.protocols == ("DDR4", "HBM2")
+    assert spec.device_pool == CATALOG_IDS
+    # The default pool stays out of the payload, so every pre-existing
+    # checkpoint digest is preserved — explicit-default specs included.
+    assert "protocols" not in spec.to_payload()
+    explicit = FleetSpec(n_modules=100, seed=5, protocols=("DDR4", "HBM2"))
+    assert explicit.digest() == spec.digest()
+
+
+def test_protocol_restriction_shapes_pool_and_digest():
+    from repro.chips import spec as device_spec
+
+    ddr5 = FleetSpec(n_modules=64, seed=3, protocols=("DDR5",))
+    assert ddr5.device_pool
+    assert all(
+        device_spec(mid).protocol == "DDR5" for mid in ddr5.device_pool
+    )
+    members = list(iter_assignments(ddr5))
+    assert {member.device for member in members} <= set(ddr5.device_pool)
+    # Non-default pools are part of the recipe: payload and digest move,
+    # and the payload round-trips.
+    assert ddr5.to_payload()["protocols"] == ["DDR5"]
+    assert FleetSpec.from_payload(ddr5.to_payload()) == ddr5
+    assert ddr5.digest() != FleetSpec(n_modules=64, seed=3).digest()
+
+
+def test_protocol_validation():
+    with pytest.raises(ConfigurationError):
+        FleetSpec(n_modules=4, protocols=())
+    with pytest.raises(ConfigurationError):
+        FleetSpec(n_modules=4, protocols=("LPDDR4",))

@@ -17,6 +17,7 @@ from repro.store import (
     DEFAULT_STORE_FILENAME,
     KIND_ADAPTIVE,
     KIND_CAMPAIGN,
+    KIND_FLEET,
     KIND_SWEEP,
     ResultStore,
     resolve_store_path,
@@ -234,3 +235,23 @@ def test_threaded_connections_are_isolated(store):
     for thread in threads:
         thread.join()
     assert errors == []
+
+
+def test_stats_protocol_breakdown(store):
+    store.put("c1", KIND_CAMPAIGN, {"module_id": "M1", "observations": []})
+    store.put("c2", KIND_CAMPAIGN, {"module_id": "D0", "observations": []})
+    store.put("sw", KIND_SWEEP, {"mixes": []})
+    store.put("fl", KIND_FLEET, {"spec": {"n_modules": 4}})
+    store.put(
+        "fl5", KIND_FLEET, {"spec": {"n_modules": 4, "protocols": ["DDR5"]}}
+    )
+    store.put("??", KIND_CAMPAIGN, {"module_id": "NOT-A-DEVICE"})
+    breakdown = store.stats()["per_protocol"]
+    # M1 is DDR4; D0 is DDR5 and the memsim sweep substrate is DDR5 too;
+    # fleet checkpoints are labelled by their sampling pool.
+    assert breakdown == {
+        "DDR4": 1,
+        "DDR4+HBM2": 1,
+        "DDR5": 3,
+        "unknown": 1,
+    }
